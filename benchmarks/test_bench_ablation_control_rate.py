@@ -1,0 +1,43 @@
+"""Ablation: distinct control/data rates (DESIGN.md decision 3).
+
+The paper's central observation is that control frames and the MAC
+header travel at basic rates while the payload uses the NIC rate.  This
+bench contrasts the paper's model with a naive all-at-data-rate model:
+the naive one overestimates 11 Mbps throughput substantially.
+"""
+
+from benchmarks.util import run_once, save_artifact
+from repro.analysis.tables import render_table
+from repro.core.params import ALL_RATES, Dot11bConfig, HeaderRatePolicy, Rate
+from repro.core.throughput_model import ThroughputModel
+
+
+def _evaluate():
+    paper_model = ThroughputModel(Dot11bConfig())
+    naive_model = ThroughputModel(
+        Dot11bConfig(header_rate_policy=HeaderRatePolicy.DATA_RATE)
+    )
+    rows = []
+    for rate in reversed(ALL_RATES):
+        paper_mbps = paper_model.max_throughput_bps(512, rate) / 1e6
+        naive_mbps = naive_model.max_throughput_bps(512, rate) / 1e6
+        rows.append((str(rate), paper_mbps, naive_mbps, naive_mbps / paper_mbps))
+    return rows
+
+
+def test_bench_ablation_control_rate(benchmark):
+    rows = run_once(benchmark, _evaluate)
+    save_artifact(
+        "ablation_control_rate",
+        render_table(
+            ["rate", "paper model (Mbps)", "all-at-data-rate (Mbps)", "inflation"],
+            rows,
+            title="Ablation - MAC header at basic rate vs at data rate (m=512)",
+        ),
+    )
+    by_rate = {row[0]: row for row in rows}
+    # At 11 Mbps the naive model inflates throughput noticeably...
+    assert by_rate["11 Mbps"][3] > 1.05
+    # ...while at the basic rates the two models coincide.
+    assert abs(by_rate["1 Mbps"][3] - 1.0) < 1e-9
+    assert abs(by_rate["2 Mbps"][3] - 1.0) < 1e-9

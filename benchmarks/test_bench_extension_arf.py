@@ -1,0 +1,30 @@
+"""Extension bench: ARF dynamic rate switching (paper §2).
+
+ARF must track the upper envelope of the fixed-rate throughput curves
+across distance: near the transmitter it climbs to 11 Mbps, at 105 m
+only 1 Mbps survives and ARF must settle there.
+"""
+
+from benchmarks.util import run_once, save_artifact
+from repro.core.params import Rate
+from repro.experiments.ratecontrol import format_arf_sweep, run_arf_sweep
+
+
+def test_bench_extension_arf(benchmark):
+    rows = run_once(benchmark, run_arf_sweep, duration_s=3.0)
+    save_artifact("extension_arf", format_arf_sweep(rows))
+
+    by_distance = {row.distance_m: row for row in rows}
+    # Close in, ARF reaches most of the 11 Mbps fixed throughput.
+    assert by_distance[10.0].arf_mbps > 0.85 * by_distance[10.0].fixed_mbps[
+        Rate.MBPS_11
+    ]
+    # At every distance ARF achieves a usable fraction of the best
+    # fixed strategy (it pays for probing upward).
+    for row in rows:
+        assert row.arf_mbps > 0.5 * row.best_fixed_mbps, row.distance_m
+    # Beyond the 2 Mbps range edge only the slow rates work, and ARF
+    # matches the best of them.
+    far = by_distance[105.0]
+    assert far.fixed_mbps[Rate.MBPS_11] < 0.05
+    assert far.arf_mbps > 0.8 * far.best_fixed_mbps

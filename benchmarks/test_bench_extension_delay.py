@@ -1,0 +1,27 @@
+"""Extension bench: the delay hockey stick around Equation (1)'s capacity."""
+
+from benchmarks.util import run_once, save_artifact
+from repro.core.params import Rate
+from repro.experiments.delay import format_delay_sweep, run_delay_sweep
+
+
+def test_bench_extension_delay(benchmark):
+    points = run_once(benchmark, run_delay_sweep, rate=Rate.MBPS_11)
+    save_artifact("extension_delay", format_delay_sweep(points, Rate.MBPS_11))
+
+    by_load = {point.load_fraction: point for point in points}
+    # Below saturation, delay is around the per-frame service time (~1 ms)
+    # and delivery matches the offer.
+    light = by_load[0.2]
+    assert light.mean_delay_s < 0.005
+    assert light.delivered_bps > 0.95 * light.offered_bps
+    # Past the Equation-(1) capacity the queue fills: delay explodes and
+    # the delivered rate clips at capacity.
+    overload = by_load[1.1]
+    assert overload.mean_delay_s > 20 * light.mean_delay_s
+    assert overload.delivered_bps < overload.offered_bps
+    # Delay is monotone in load (up to measurement noise below
+    # saturation, where it is flat at the service time).
+    delays = [point.mean_delay_s for point in points]
+    for earlier, later in zip(delays, delays[1:]):
+        assert later >= earlier * 0.95

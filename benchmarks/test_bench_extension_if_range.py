@@ -1,0 +1,39 @@
+"""Extension bench: the TX <= IF <= PCS relationship of paper §2."""
+
+from benchmarks.util import run_once, save_artifact
+from repro.core.params import Rate
+from repro.experiments.interference import (
+    analytic_if_table,
+    format_if_table,
+    measure_if_range,
+)
+
+
+def _evaluate():
+    rows = analytic_if_table(rate=Rate.MBPS_11)
+    losses = measure_if_range(
+        rate=Rate.MBPS_11, sender_distance_m=20.0, probes=100
+    )
+    return rows, losses
+
+
+def test_bench_extension_if_range(benchmark):
+    rows, losses = run_once(benchmark, _evaluate)
+    text = format_if_table(rows)
+    text += "\n\nsimulated loss vs interferer distance (sender at 20 m):\n"
+    for distance, loss in sorted(losses.items()):
+        text += f"  interferer at {distance:5.1f} m: loss = {loss:.2f}\n"
+    save_artifact("extension_if_range", text)
+
+    # IF grows with the sender-receiver distance (paper §2: "function of
+    # the distance between the sender and receiver").
+    if_ranges = [row.if_range_analytic_m for row in rows]
+    assert if_ranges == sorted(if_ranges)
+    # At the TX-range edge the interference range exceeds the TX range
+    # (the classic hidden-terminal asymmetry).
+    edge = rows[-1]
+    assert edge.if_range_analytic_m > edge.tx_range_m
+    # Simulation agrees with the analytic boundary: the sim's IF range
+    # for a 20 m sender is ~45 m, so 30 m kills frames and 90 m doesn't.
+    assert losses[30.0] > 0.5
+    assert losses[90.0] < 0.1

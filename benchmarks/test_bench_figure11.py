@@ -1,0 +1,22 @@
+"""Bench ``figure11``: four stations at 11 Mbps, symmetric placement."""
+
+from benchmarks.util import run_once, save_artifact
+from repro.experiments.four_nodes import format_four_node, run_figure11
+
+DURATION_S = 8.0
+
+
+def test_bench_figure11(benchmark):
+    results = run_once(benchmark, run_figure11, duration_s=DURATION_S)
+    save_artifact(
+        "figure11",
+        format_four_node(results, "Figure 11 - 11 Mbps symmetric (25/60/25 m)"),
+    )
+
+    by_key = {(r.transport, r.rts_cts): r for r in results}
+    # Symmetric placement: both receivers sit in the middle, so the UDP
+    # sessions end up comparable (consistent with the paper's bars).
+    udp = by_key[("udp", False)]
+    assert 0.4 < udp.ratio < 2.5
+    assert udp.session1_kbps > 400
+    assert udp.session2_kbps > 400

@@ -1,0 +1,23 @@
+"""Bench ``figure12``: four stations at 2 Mbps, symmetric placement."""
+
+from benchmarks.util import run_once, save_artifact
+from repro.experiments.four_nodes import format_four_node, run_figure12
+
+DURATION_S = 8.0
+
+
+def test_bench_figure12(benchmark):
+    results = run_once(benchmark, run_figure12, duration_s=DURATION_S)
+    save_artifact(
+        "figure12",
+        format_four_node(results, "Figure 12 - 2 Mbps symmetric (25/60/25 m)"),
+    )
+
+    by_key = {(r.transport, r.rts_cts): r for r in results}
+    udp = by_key[("udp", False)]
+    # The 2 Mbps symmetric system is the most balanced configuration of
+    # the paper: near parity between the sessions.
+    assert 0.5 < udp.ratio < 2.0
+    # Aggregate throughput is bounded by the 2 Mbps saturation ceiling.
+    total_kbps = udp.session1_kbps + udp.session2_kbps
+    assert total_kbps < 1500

@@ -1,0 +1,26 @@
+"""Bench ``figure2``: theoretical vs simulated TCP/UDP throughput."""
+
+from benchmarks.util import run_once, save_artifact
+from repro.core.params import Rate
+from repro.experiments.two_nodes import format_figure2, run_figure2
+
+
+def test_bench_figure2(benchmark):
+    results = run_once(
+        benchmark, run_figure2, rate=Rate.MBPS_11, duration_s=2.0, warmup_s=0.3
+    )
+    save_artifact("figure2", format_figure2(results))
+
+    by_key = {(r.transport, r.rts_cts): r for r in results}
+    # UDP saturates to the analytic bound (paper: "very close").
+    for rts in (False, True):
+        assert abs(by_key[("udp", rts)].ratio - 1.0) < 0.08
+    # TCP is clearly below the bound (TCP-ACK overhead).
+    for rts in (False, True):
+        assert by_key[("tcp", rts)].ratio < 0.95
+    # RTS/CTS costs throughput in every panel.
+    for transport in ("udp", "tcp"):
+        assert (
+            by_key[(transport, True)].measured_mbps
+            < by_key[(transport, False)].measured_mbps
+        )

@@ -1,0 +1,29 @@
+"""Bench ``figure3``: packet loss vs distance for the four rates."""
+
+from benchmarks.util import run_once, save_artifact
+from repro.experiments.ranges import (
+    estimate_tx_range,
+    format_loss_curves,
+    run_figure3,
+)
+
+PROBES = 120
+
+
+def test_bench_figure3(benchmark):
+    curves = run_once(benchmark, run_figure3, probes=PROBES)
+    save_artifact(
+        "figure3", format_loss_curves(curves, "Figure 3 - loss vs distance")
+    )
+
+    by_rate = {curve.rate.mbps: curve for curve in curves}
+    # The range ladder: faster rates cross 50% loss closer in.
+    ranges = {
+        mbps: estimate_tx_range(curve) for mbps, curve in by_rate.items()
+    }
+    assert ranges[11.0] < ranges[5.5] < ranges[2.0] < ranges[1.0]
+    # Every curve starts essentially lossless and ends fully lost
+    # (20 m and 150+ m, like the paper's x-axis).
+    for curve in curves:
+        assert curve.loss_rates[0] < 0.1
+        assert curve.loss_rates[-1] > 0.9

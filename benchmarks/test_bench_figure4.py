@@ -1,0 +1,30 @@
+"""Bench ``figure4``: the 1 Mbps range measured on two different days."""
+
+from benchmarks.util import run_once, save_artifact
+from repro.experiments.ranges import (
+    estimate_tx_range,
+    format_loss_curves,
+    run_figure4,
+)
+
+PROBES = 120
+
+
+def test_bench_figure4(benchmark):
+    curves = run_once(benchmark, run_figure4, probes=PROBES)
+    save_artifact(
+        "figure4",
+        format_loss_curves(curves, "Figure 4 - 1 Mbps range on two days"),
+    )
+
+    good, bad = curves
+    good_range = estimate_tx_range(good)
+    bad_range = estimate_tx_range(bad)
+    # The worse day shortens the range visibly (weather variability,
+    # paper Figure 4 and footnote 4).
+    assert bad_range < good_range
+    assert good_range - bad_range > 5.0
+    # Both stay around the 1 Mbps band of Table 3 (110-130 m), the bad
+    # day sagging below its lower edge.
+    assert 95.0 <= bad_range <= 130.0
+    assert 110.0 <= good_range <= 135.0

@@ -1,0 +1,30 @@
+"""Bench ``figure7``: four stations at 11 Mbps, asymmetric placement."""
+
+from benchmarks.util import run_once, save_artifact
+from repro.experiments import paper
+from repro.experiments.four_nodes import format_four_node, run_figure7
+
+DURATION_S = 8.0
+
+
+def test_bench_figure7(benchmark):
+    results = run_once(benchmark, run_figure7, duration_s=DURATION_S)
+    save_artifact(
+        "figure7",
+        format_four_node(results, "Figure 7 - 11 Mbps asymmetric (25/80/25 m)"),
+    )
+
+    by_key = {(r.transport, r.rts_cts): r for r in results}
+    # Headline: session 2 clearly beats session 1 under UDP, both with
+    # and without RTS/CTS (paper Figure 7).
+    for rts in (False, True):
+        assert by_key[("udp", rts)].ratio > paper.FIGURE7_MIN_UDP_RATIO
+    # Session 1 is coupled (far below an isolated pair's ~3 Mbps) yet
+    # alive; session 2 is near a single-pair's saturation throughput.
+    udp = by_key[("udp", False)]
+    assert 50 < udp.session1_kbps < 1500
+    assert udp.session2_kbps > 1800
+    # TCP keeps both sessions alive.
+    tcp = by_key[("tcp", False)]
+    assert tcp.session1_kbps > 50
+    assert tcp.session2_kbps > 800

@@ -1,0 +1,29 @@
+"""Bench ``figure9``: four stations at 2 Mbps, asymmetric placement."""
+
+from benchmarks.util import run_once, save_artifact
+from repro.experiments import paper
+from repro.experiments.four_nodes import (
+    format_four_node,
+    run_figure7,
+    run_figure9,
+)
+
+DURATION_S = 8.0
+
+
+def test_bench_figure9(benchmark):
+    results = run_once(benchmark, run_figure9, duration_s=DURATION_S)
+    save_artifact(
+        "figure9",
+        format_four_node(results, "Figure 9 - 2 Mbps asymmetric (25/90/25 m)"),
+    )
+
+    by_key = {(r.transport, r.rts_cts): r for r in results}
+    udp = by_key[("udp", False)]
+    # Paper: at 2 Mbps the system is "more balanced" (larger ranges give
+    # the stations a more uniform view of the channel).
+    assert udp.ratio < paper.FIGURE9_MAX_UDP_RATIO * 2
+    assert udp.session1_kbps > 300
+    # Direct comparison against the 11 Mbps scenario.
+    fig7_udp = run_figure7(duration_s=DURATION_S)[0]
+    assert udp.ratio < fig7_udp.ratio

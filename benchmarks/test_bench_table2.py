@@ -1,0 +1,24 @@
+"""Bench ``table2``: the maximum-throughput model vs the paper's Table 2."""
+
+from benchmarks.util import run_once, save_artifact
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_bench_table2(benchmark):
+    rows = run_once(benchmark, run_table2)
+    text = format_table2(rows)
+    save_artifact("table2", text)
+
+    # Every no-RTS/CTS cell must reproduce the paper to ~1 kbps.
+    for row in rows:
+        if not row.rts_cts:
+            assert abs(row.standard_mbps - row.paper_mbps) < 0.002
+    # All cells except the known 1 Mbps/512 B/RTS outlier must match
+    # under at least one overhead interpretation.
+    assert sum(not row.matches_paper for row in rows) == 1
+    # Headline finding: < 44 % utilisation at 11 Mbps even with 1024 B.
+    big = next(
+        r for r in rows
+        if r.rate.mbps == 11 and r.payload_bytes == 1024 and not r.rts_cts
+    )
+    assert big.standard_mbps / 11.0 < 0.44

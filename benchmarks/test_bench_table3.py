@@ -1,0 +1,20 @@
+"""Bench ``table3``: transmission-range estimates vs the paper's bands."""
+
+from benchmarks.util import run_once, save_artifact
+from repro.experiments.ranges import format_table3, run_table3
+
+PROBES = 120
+
+
+def test_bench_table3(benchmark):
+    estimates = run_once(benchmark, run_table3, probes=PROBES)
+    save_artifact("table3", format_table3(estimates))
+
+    for estimate in estimates:
+        assert estimate.within_band, (
+            f"{estimate.rate} {estimate.kind} range {estimate.estimated_m:.1f} m "
+            f"outside the paper band {estimate.paper_band_m}"
+        )
+    # Paper §3.2: simulator folklore (ns-2's 250 m) is 2-3x too long.
+    data = [e for e in estimates if e.kind == "data"]
+    assert all(e.estimated_m < 250.0 / 1.8 for e in data)

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper, times it with
+pytest-benchmark (single round — these are simulations, not
+microbenchmarks) and writes the paper-style rendering to
+``benchmarks/output/<name>.txt`` so the artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Persist one bench's rendered table/figure."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Time ``function`` with a single benchmark round."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

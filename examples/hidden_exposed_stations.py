@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The paper's four-station experiment (Figures 5-9), step by step.
+
+Two concurrent sessions on a line of four stations::
+
+    S1 ---25m--- S2 ---80m--- S3 ---25m--- S4
+    |__ session 1 __|          |__ session 2 __|
+
+At 11 Mbps the data transmission range is ~31 m, so the sessions cannot
+decode each other's data — yet they interact strongly through carrier
+sensing, preamble locking and control-frame ranges, and session 2 wins
+by a large factor.  At 2 Mbps the ranges grow, the stations share a more
+uniform view of the channel and the system becomes more balanced.
+
+Run with::
+
+    python examples/hidden_exposed_stations.py [--duration 10]
+"""
+
+import argparse
+
+from repro import CbrSource, Rate, UdpSink, build_network
+from repro.channel.placement import figure6_placement, figure8_placement
+
+
+def run_scenario(placement, rate, rts_cts, duration_s):
+    """Two saturated UDP sessions; returns (s1_kbps, s2_kbps)."""
+    positions = [x for x, _ in placement.positions]
+    net = build_network(positions, data_rate=rate, rts_enabled=rts_cts)
+    sinks = []
+    for index, (tx, rx) in enumerate(((0, 1), (2, 3))):
+        port = 5001 + index
+        sinks.append(UdpSink(net[rx], port=port, warmup_s=1.0))
+        CbrSource(net[tx], dst=rx + 1, dst_port=port, payload_bytes=512)
+    net.run(duration_s)
+    return tuple(s.throughput_bps(duration_s) / 1e3 for s in sinks)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=10.0)
+    args = parser.parse_args()
+
+    for label, placement, rate in (
+        ("11 Mbps (Figure 6/7)", figure6_placement(), Rate.MBPS_11),
+        ("2 Mbps (Figure 8/9)", figure8_placement(), Rate.MBPS_2),
+    ):
+        print(f"\n=== {label}: d(2,3) = {placement.distance(1, 2):g} m ===")
+        print(f"{'access scheme':>16} {'S1->S2':>10} {'S3->S4':>10} {'ratio':>7}")
+        for rts_cts in (False, True):
+            s1, s2 = run_scenario(placement, rate, rts_cts, args.duration)
+            scheme = "RTS/CTS" if rts_cts else "basic"
+            print(
+                f"{scheme:>16} {s1:>8.0f} K {s2:>8.0f} K {s2 / max(s1, 1):>7.2f}"
+            )
+
+    print(
+        "\nSession 2 dominates at 11 Mbps even though S1 and S3 are far\n"
+        "outside each other's transmission range; the 2 Mbps system is\n"
+        "visibly more balanced - the paper's central §3.3 finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

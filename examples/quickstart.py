@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: saturate a two-station 802.11b link and compare against
+the paper's analytic bound (Equation 1).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CbrSource,
+    Rate,
+    ThroughputModel,
+    UdpSink,
+    build_network,
+)
+
+
+def main() -> None:
+    duration_s = 2.0
+
+    print("Two stations 10 m apart, saturated CBR/UDP at 512 B payloads.\n")
+    print(f"{'rate':>10} {'simulated':>12} {'Eq. (1)':>12} {'ratio':>7}")
+    for rate in (Rate.MBPS_1, Rate.MBPS_2, Rate.MBPS_5_5, Rate.MBPS_11):
+        # A fresh network per rate: two nodes on a calm, deterministic
+        # channel (no shadowing) well inside transmission range.
+        net = build_network([0, 10], data_rate=rate, fast_sigma_db=0.0)
+        sink = UdpSink(net[1], port=5001)
+        CbrSource(net[0], dst=2, dst_port=5001, payload_bytes=512)
+        net.run(duration_s)
+
+        simulated = sink.throughput_bps(duration_s) / 1e6
+        analytic = ThroughputModel().max_throughput_bps(512, rate) / 1e6
+        print(
+            f"{str(rate):>10} {simulated:>10.3f} M {analytic:>10.3f} M "
+            f"{simulated / analytic:>7.3f}"
+        )
+
+    print(
+        "\nThe simulator saturates to the paper's Equation-(1) bound at "
+        "every rate:\nonly a fraction of the nominal bandwidth reaches the "
+        "application (paper §3.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""TCP over a lossy 802.11b link: ftp transfers at the range edge.
+
+Moves a TCP bulk transfer progressively closer to the 2 Mbps range edge
+and reports goodput, MAC retries and TCP-level recovery — showing how
+the MAC's ARQ masks most channel loss until the link truly collapses
+(one reason the paper's TCP results stay usable despite the channel).
+
+Run with::
+
+    python examples/tcp_over_wireless.py
+"""
+
+from repro import BulkTcpReceiver, BulkTcpSender, Rate, build_network
+
+
+def run_transfer(distance_m: float, duration_s: float = 8.0):
+    """One bulk transfer; returns (goodput_kbps, mac_retries, tcp_rexmits)."""
+    net = build_network(
+        [0, distance_m], data_rate=Rate.MBPS_2, fast_sigma_db=3.0, seed=4
+    )
+    receiver = BulkTcpReceiver(net[1], port=80, warmup_s=1.0)
+    sender = BulkTcpSender(net[0], dst=2, dst_port=80)
+    net.run(duration_s)
+    connection = sender.connection
+    return (
+        receiver.throughput_bps(duration_s) / 1e3,
+        net[0].mac.counters.retries,
+        connection.segments_retransmitted + connection.timeouts,
+    )
+
+
+def main() -> None:
+    print("TCP bulk transfer at 2 Mbps, walking toward the range edge "
+          "(~94 m):\n")
+    print(f"{'distance':>9} {'goodput':>10} {'MAC retries':>12} {'TCP rexmits':>12}")
+    for distance in (20, 50, 70, 80, 90, 100):
+        goodput, mac_retries, tcp_rexmits = run_transfer(float(distance))
+        print(
+            f"{distance:>7} m {goodput:>8.0f} K {mac_retries:>12} "
+            f"{tcp_rexmits:>12}"
+        )
+    print(
+        "\nMAC-layer retransmissions absorb the channel's per-frame losses\n"
+        "until deep into the transition region; only near the range edge\n"
+        "does loss reach TCP and collapse the goodput."
+    )
+
+
+if __name__ == "__main__":
+    main()

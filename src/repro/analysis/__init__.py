@@ -1,0 +1,30 @@
+"""Measurement and statistics utilities.
+
+* :mod:`repro.analysis.stats` — running statistics, Student-t confidence
+  intervals, replication summaries.
+* :mod:`repro.analysis.meters` — throughput / loss / delay meters with
+  warm-up trimming.
+* :mod:`repro.analysis.tables` — aligned plain-text tables for CLI and
+  bench output.
+* :mod:`repro.analysis.ascii_plot` — terminal line plots for the
+  loss-vs-distance curves.
+* :mod:`repro.analysis.csvio` — CSV export of experiment results.
+"""
+
+from repro.analysis.stats import RunningStats, confidence_interval, summarize
+from repro.analysis.meters import DelayMeter, LossMeter, ThroughputMeter
+from repro.analysis.tables import render_table
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.csvio import write_csv
+
+__all__ = [
+    "DelayMeter",
+    "LossMeter",
+    "RunningStats",
+    "ThroughputMeter",
+    "confidence_interval",
+    "line_plot",
+    "render_table",
+    "summarize",
+    "write_csv",
+]

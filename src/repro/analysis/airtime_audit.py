@@ -1,0 +1,99 @@
+"""Channel airtime accounting from PHY traces.
+
+Subscribes to ``phy.*.tx_start``/``tx_end`` trace events and attributes
+every microsecond of transmission time to its station.  For the
+four-station experiments this turns "session 1 starves" into a
+mechanism: one can see S3 occupying the channel and S1 spending its
+life retrying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import render_table
+from repro.sim.tracing import TraceRecord, Tracer
+
+
+@dataclass
+class StationAirtime:
+    """Accumulated airtime of one station."""
+
+    name: str
+    transmissions: int = 0
+    airtime_ns: int = 0
+    _tx_started_ns: int | None = field(default=None, repr=False)
+
+
+class AirtimeAuditor:
+    """Attach to a tracer before the run; read shares afterwards."""
+
+    def __init__(self, tracer: Tracer):
+        self._stations: dict[str, StationAirtime] = {}
+        self._first_event_ns: int | None = None
+        self._last_event_ns = 0
+        tracer.subscribe(self._on_record, prefix="phy.")
+
+    def _station(self, category: str) -> StationAirtime:
+        name = category.split(".", 1)[1]
+        if name not in self._stations:
+            self._stations[name] = StationAirtime(name=name)
+        return self._stations[name]
+
+    def _on_record(self, record: TraceRecord) -> None:
+        if record.event == "tx_start":
+            station = self._station(record.category)
+            station._tx_started_ns = record.time_ns
+            station.transmissions += 1
+            if self._first_event_ns is None:
+                self._first_event_ns = record.time_ns
+        elif record.event == "tx_end":
+            station = self._station(record.category)
+            if station._tx_started_ns is not None:
+                station.airtime_ns += record.time_ns - station._tx_started_ns
+                station._tx_started_ns = None
+            self._last_event_ns = record.time_ns
+
+    @property
+    def observed_span_ns(self) -> int:
+        """Time between the first TX start and the last TX end."""
+        if self._first_event_ns is None:
+            return 0
+        return self._last_event_ns - self._first_event_ns
+
+    def airtime_share(self, name: str) -> float:
+        """Fraction of the observed span a station spent transmitting."""
+        span = self.observed_span_ns
+        if span <= 0 or name not in self._stations:
+            return 0.0
+        return self._stations[name].airtime_ns / span
+
+    def busy_fraction(self) -> float:
+        """Fraction of the span *somebody* was transmitting.
+
+        Upper-bounded by 1 in a single collision domain; values above 1
+        reveal concurrent (potentially colliding) transmissions.
+        """
+        span = self.observed_span_ns
+        if span <= 0:
+            return 0.0
+        return sum(s.airtime_ns for s in self._stations.values()) / span
+
+    def report(self) -> str:
+        """Per-station airtime table."""
+        rows = [
+            (
+                station.name,
+                station.transmissions,
+                round(station.airtime_ns / 1e6, 1),
+                round(self.airtime_share(station.name), 3),
+            )
+            for station in sorted(
+                self._stations.values(), key=lambda s: s.name
+            )
+        ]
+        return render_table(
+            ["station", "transmissions", "airtime (ms)", "share"],
+            rows,
+            title="Channel airtime audit",
+        )

@@ -1,0 +1,60 @@
+"""Terminal line plots (no plotting library is available offline).
+
+Good enough to eyeball the Figure-3/4 loss curves from the CLI: one
+character column per x sample, multiple series overlaid with distinct
+glyphs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+_GLYPHS = "ox+*#@%&"
+
+
+def line_plot(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    y_min: float | None = None,
+    y_max: float | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``series`` (name -> y values over ``x``) as ASCII art."""
+    if not series:
+        raise ConfigurationError("need at least one series to plot")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points for {len(x)} x values"
+            )
+    if height < 2:
+        raise ConfigurationError(f"height must be >= 2, got {height}")
+    all_values = [v for ys in series.values() for v in ys]
+    lo = y_min if y_min is not None else min(all_values)
+    hi = y_max if y_max is not None else max(all_values)
+    if hi <= lo:
+        hi = lo + 1.0
+    width = len(x)
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), glyph in zip(series.items(), _GLYPHS):
+        for column, value in enumerate(ys):
+            fraction = (value - lo) / (hi - lo)
+            row = height - 1 - round(fraction * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][column] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        y_value = hi - (hi - lo) * index / (height - 1)
+        lines.append(f"{y_value:8.2f} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9} x: {x[0]:g} .. {x[-1]:g}")
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), _GLYPHS)
+    )
+    lines.append(f"{'':9} {legend}")
+    return "\n".join(lines)

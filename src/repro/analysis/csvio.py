@@ -1,0 +1,31 @@
+"""CSV export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write rows to ``path``; returns the resolved path."""
+    if not headers:
+        raise ConfigurationError("CSV needs at least one column")
+    resolved = Path(path)
+    resolved.parent.mkdir(parents=True, exist_ok=True)
+    with resolved.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ConfigurationError(
+                    f"row {row} has {len(row)} cells for {len(headers)} columns"
+                )
+            writer.writerow(row)
+    return resolved

@@ -1,0 +1,104 @@
+"""Throughput, loss and delay meters with warm-up trimming."""
+
+from __future__ import annotations
+
+from repro.analysis.stats import RunningStats
+from repro.errors import ConfigurationError
+
+
+class ThroughputMeter:
+    """Counts bytes in a measurement window."""
+
+    def __init__(self, warmup_s: float = 0.0):
+        if warmup_s < 0:
+            raise ConfigurationError(f"warmup must be >= 0 s, got {warmup_s}")
+        self._warmup_s = warmup_s
+        self._bytes = 0
+        self._last_time_s = 0.0
+
+    @property
+    def bytes(self) -> int:
+        """Bytes counted after the warm-up."""
+        return self._bytes
+
+    def record(self, nbytes: int, time_s: float) -> None:
+        """Count ``nbytes`` delivered at ``time_s``."""
+        self._last_time_s = max(self._last_time_s, time_s)
+        if time_s >= self._warmup_s:
+            self._bytes += nbytes
+
+    def throughput_bps(self, horizon_s: float | None = None) -> float:
+        """Bits per second over [warmup, horizon]."""
+        end = horizon_s if horizon_s is not None else self._last_time_s
+        window = end - self._warmup_s
+        if window <= 0:
+            return 0.0
+        return self._bytes * 8 / window
+
+
+class LossMeter:
+    """Sent-vs-received packet accounting."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.received = 0
+
+    def record_sent(self, count: int = 1) -> None:
+        """Count offered packets."""
+        self.sent += count
+
+    def record_received(self, count: int = 1) -> None:
+        """Count delivered packets."""
+        self.received += count
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of offered packets that never arrived."""
+        if self.sent == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.received / self.sent)
+
+
+class DelayMeter:
+    """One-way delay statistics."""
+
+    def __init__(self, warmup_s: float = 0.0):
+        self._warmup_s = warmup_s
+        self._stats = RunningStats()
+        self._samples: list[float] = []
+
+    def record(self, sent_s: float, received_s: float) -> None:
+        """Feed one packet's (send time, receive time)."""
+        if received_s < sent_s:
+            raise ConfigurationError(
+                f"packet received at {received_s} s before sent at {sent_s} s"
+            )
+        if received_s >= self._warmup_s:
+            delay = received_s - sent_s
+            self._stats.add(delay)
+            self._samples.append(delay)
+
+    @property
+    def count(self) -> int:
+        """Delay samples recorded."""
+        return self._stats.count
+
+    @property
+    def mean_s(self) -> float:
+        """Mean one-way delay."""
+        return self._stats.mean
+
+    @property
+    def max_s(self) -> float:
+        """Worst delay seen."""
+        return self._stats.maximum
+
+    def percentile_s(self, fraction: float) -> float:
+        """Delay percentile (e.g. 0.99)."""
+        if not 0 <= fraction <= 1:
+            raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+        return ordered[index]

@@ -1,0 +1,67 @@
+"""Persisting trace records to JSON-lines files.
+
+Attach a :class:`TraceWriter` to any :class:`~repro.sim.tracing.Tracer`
+to get a replayable, grep-able record of a run — the simulator's
+equivalent of the tcpdump traces the paper's authors worked from.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sim.tracing import TraceRecord, Tracer
+
+
+class TraceWriter:
+    """Streams trace records to a ``.jsonl`` file.
+
+    Use as a context manager so the file is flushed and closed::
+
+        with TraceWriter(net.tracer, "run.jsonl", prefix="mac.") as writer:
+            net.run(10.0)
+        print(writer.records_written)
+    """
+
+    def __init__(self, tracer: Tracer, path: str | Path, prefix: str = ""):
+        self._tracer = tracer
+        self._path = Path(path)
+        self._prefix = prefix
+        self._handle = None
+        self.records_written = 0
+
+    def __enter__(self) -> "TraceWriter":
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self._path.open("w")
+        self._tracer.subscribe(self._on_record, prefix=self._prefix)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.unsubscribe(self._on_record)
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _on_record(self, record: TraceRecord) -> None:
+        json.dump(
+            {
+                "t_ns": record.time_ns,
+                "category": record.category,
+                "event": record.event,
+                **record.fields,
+            },
+            self._handle,
+        )
+        self._handle.write("\n")
+        self.records_written += 1
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Load a ``.jsonl`` trace back into dictionaries."""
+    records = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

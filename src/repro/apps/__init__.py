@@ -1,0 +1,15 @@
+"""Traffic generators and sinks.
+
+* :mod:`repro.apps.cbr` — constant-bit-rate (and saturated) UDP sources,
+  the paper's CBR workload.
+* :mod:`repro.apps.bulk` — FTP-like bulk transfer over TCP, the paper's
+  ftp workload.
+* :mod:`repro.apps.sink` — counting sinks with optional warm-up trimming.
+"""
+
+from repro.apps.cbr import CbrSource
+from repro.apps.bulk import BulkTcpReceiver, BulkTcpSender
+from repro.apps.onoff import OnOffSource
+from repro.apps.sink import UdpSink
+
+__all__ = ["BulkTcpReceiver", "BulkTcpSender", "CbrSource", "OnOffSource", "UdpSink"]

@@ -1,0 +1,86 @@
+"""On/off (bursty) UDP source.
+
+Alternates exponentially distributed ON periods (CBR at ``rate_bps``)
+with OFF silences — the classic bursty-traffic model, useful for
+driving the network below saturation with realistic variance.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.net.node import Node
+from repro.sim.timers import Timer
+from repro.units import s_to_ns, us_to_ns
+
+
+class OnOffSource:
+    """Bursty UDP traffic generator."""
+
+    def __init__(
+        self,
+        node: Node,
+        dst: int,
+        dst_port: int,
+        payload_bytes: int = 512,
+        rate_bps: float = 1e6,
+        mean_on_s: float = 0.5,
+        mean_off_s: float = 0.5,
+        rng=None,
+    ):
+        if payload_bytes <= 0 or rate_bps <= 0:
+            raise ConfigurationError("payload and rate must be positive")
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ConfigurationError("mean ON/OFF periods must be positive")
+        self._node = node
+        self._dst = dst
+        self._dst_port = dst_port
+        self._payload_bytes = payload_bytes
+        self._packet_interval_ns = us_to_ns(payload_bytes * 8 / rate_bps * 1e6)
+        self._mean_on_s = mean_on_s
+        self._mean_off_s = mean_off_s
+        self._rng = rng if rng is not None else __import__("random").Random(
+            node.address
+        )
+        self._socket = node.udp.bind()
+        self._send_timer = Timer(node.sim, self._send_tick, name="onoff-send")
+        self._phase_timer = Timer(node.sim, self._toggle_phase, name="onoff-phase")
+        self._on = False
+        self._stopped = False
+        self.packets_sent = 0
+        self.on_periods = 0
+        self._sequence = 0
+        self._toggle_phase()
+
+    @property
+    def is_on(self) -> bool:
+        """True while in an ON burst."""
+        return self._on
+
+    def stop(self) -> None:
+        """Silence the source permanently."""
+        self._stopped = True
+        self._send_timer.cancel()
+        self._phase_timer.cancel()
+
+    def _toggle_phase(self) -> None:
+        if self._stopped:
+            return
+        self._on = not self._on
+        if self._on:
+            self.on_periods += 1
+            self._send_tick()
+            duration_s = self._rng.expovariate(1.0 / self._mean_on_s)
+        else:
+            self._send_timer.cancel()
+            duration_s = self._rng.expovariate(1.0 / self._mean_off_s)
+        self._phase_timer.start(max(s_to_ns(duration_s), 1))
+
+    def _send_tick(self) -> None:
+        if self._stopped or not self._on:
+            return
+        if self._socket.send(
+            self._sequence, self._payload_bytes, self._dst, self._dst_port
+        ):
+            self.packets_sent += 1
+        self._sequence += 1
+        self._send_timer.start(self._packet_interval_ns)

@@ -1,0 +1,41 @@
+"""Radio channel models and the broadcast wireless medium.
+
+The channel stack replaces the paper's outdoor field: a deterministic
+path-loss model plus log-normal shadowing (static per-link and fast
+per-frame components) plus a slow Gauss-Markov "weather" process.  The
+default parameters are calibrated so the per-rate transmission ranges
+match the paper's Table 3 measurements (see DESIGN.md §2).
+"""
+
+from repro.channel.propagation import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    PropagationModel,
+    TwoRayGroundPathLoss,
+)
+from repro.channel.shadowing import ChannelModel
+from repro.channel.weather import DayConditions, WeatherProcess
+from repro.channel.medium import Medium, Signal
+from repro.channel.ranges import RangeTable, compute_range_table
+from repro.channel.placement import (
+    Placement,
+    chain_placement,
+    linear_positions,
+)
+
+__all__ = [
+    "ChannelModel",
+    "DayConditions",
+    "FreeSpacePathLoss",
+    "LogDistancePathLoss",
+    "Medium",
+    "Placement",
+    "PropagationModel",
+    "RangeTable",
+    "Signal",
+    "TwoRayGroundPathLoss",
+    "WeatherProcess",
+    "chain_placement",
+    "compute_range_table",
+    "linear_positions",
+]

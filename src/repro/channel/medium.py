@@ -1,0 +1,142 @@
+"""The shared broadcast wireless medium.
+
+The medium connects transceivers.  When one transmits, the medium samples
+the channel model once per (transmitter, receiver) pair, converts the loss
+into a received power, and — unless the signal is below the delivery
+floor — delivers ``signal start`` and ``signal end`` events to the
+receiver after the propagation delay.  Receivers decide for themselves
+what a signal means (carrier sense, preamble lock, interference).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Protocol
+
+from repro.channel.propagation import SPEED_OF_LIGHT_M_S
+from repro.channel.shadowing import ChannelModel, Position, distance_m
+from repro.errors import MediumError
+from repro.sim.engine import Simulator
+from repro.units import NS_PER_S
+
+
+class Signal:
+    """One frame in flight on the medium."""
+
+    __slots__ = ("signal_id", "source", "frame", "tx_power_dbm", "start_ns", "end_ns")
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        source: "MediumDevice",
+        frame: Any,
+        tx_power_dbm: float,
+        start_ns: int,
+        end_ns: int,
+    ):
+        self.signal_id = next(Signal._ids)
+        self.source = source
+        self.frame = frame
+        self.tx_power_dbm = tx_power_dbm
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+
+    @property
+    def duration_ns(self) -> int:
+        """Airtime of the signal."""
+        return self.end_ns - self.start_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Signal(id={self.signal_id}, src={getattr(self.source, 'name', '?')}, "
+            f"{self.start_ns}-{self.end_ns}ns)"
+        )
+
+
+class MediumDevice(Protocol):
+    """What the medium requires of an attached transceiver."""
+
+    position_m: Position
+
+    def on_signal_start(self, signal: Signal, rx_power_dbm: float) -> None:
+        """A signal's first energy reaches this device."""
+
+    def on_signal_end(self, signal: Signal) -> None:
+        """A previously started signal fades out at this device."""
+
+
+class Medium:
+    """Broadcast medium over one channel model.
+
+    ``delivery_floor_dbm`` suppresses events for signals so weak they can
+    affect neither carrier sensing nor interference, keeping the event
+    count linear in *relevant* links.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: ChannelModel,
+        delivery_floor_dbm: float = -110.0,
+    ):
+        self._sim = sim
+        self._channel = channel
+        self._delivery_floor_dbm = delivery_floor_dbm
+        self._devices: list[MediumDevice] = []
+
+    @property
+    def channel(self) -> ChannelModel:
+        """The channel model the medium samples."""
+        return self._channel
+
+    @property
+    def devices(self) -> tuple[MediumDevice, ...]:
+        """All attached devices."""
+        return tuple(self._devices)
+
+    def attach(self, device: MediumDevice) -> None:
+        """Connect a transceiver to this medium."""
+        if device in self._devices:
+            raise MediumError(f"device {device!r} is already attached")
+        self._devices.append(device)
+
+    def propagation_delay_ns(self, from_pos: Position, to_pos: Position) -> int:
+        """Signal propagation delay between two positions."""
+        seconds = distance_m(from_pos, to_pos) / SPEED_OF_LIGHT_M_S
+        return max(1, round(seconds * NS_PER_S))
+
+    def transmit(
+        self,
+        source: MediumDevice,
+        frame: Any,
+        duration_ns: int,
+        tx_power_dbm: float,
+    ) -> Signal:
+        """Put a frame on the air and schedule its arrival everywhere.
+
+        Returns the :class:`Signal`, whose ``end_ns`` tells the caller when
+        its own transmission completes.
+        """
+        if source not in self._devices:
+            raise MediumError("transmitting device is not attached to the medium")
+        if duration_ns <= 0:
+            raise MediumError(f"signal duration must be > 0 ns, got {duration_ns}")
+        now = self._sim.now_ns
+        signal = Signal(source, frame, tx_power_dbm, now, now + duration_ns)
+        for device in self._devices:
+            if device is source:
+                continue
+            loss_db = self._channel.loss_db(
+                source.position_m,
+                device.position_m,
+                id(source),
+                id(device),
+                now,
+            )
+            rx_power_dbm = tx_power_dbm - loss_db
+            if rx_power_dbm < self._delivery_floor_dbm:
+                continue
+            delay_ns = self.propagation_delay_ns(source.position_m, device.position_m)
+            self._sim.schedule(delay_ns, device.on_signal_start, signal, rx_power_dbm)
+            self._sim.schedule(delay_ns + duration_ns, device.on_signal_end, signal)
+        return signal

@@ -1,0 +1,97 @@
+"""Station mobility.
+
+The paper's §3.2 closes with a mobility argument: "the shorter is the
+TX_range, the higher is the frequency of route re-calculation when the
+network stations are mobile."  These models move stations so that claim
+can be quantified (see ``repro.experiments.mobility``).
+
+The medium samples positions at transmission time, so mobility is just
+a scheduled sequence of position updates on the transceiver.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+from repro.units import s_to_ns
+
+
+class LinearMobility:
+    """Constant-velocity motion with periodic position updates."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device,
+        velocity_m_s: tuple[float, float],
+        update_interval_s: float = 0.1,
+    ):
+        if update_interval_s <= 0:
+            raise ConfigurationError(
+                f"update interval must be > 0 s, got {update_interval_s}"
+            )
+        self._sim = sim
+        self._device = device
+        self._velocity = velocity_m_s
+        self._interval_ns = s_to_ns(update_interval_s)
+        self._last_update_ns = sim.now_ns
+        self._timer = Timer(sim, self._tick, name="mobility")
+        self._running = False
+
+    @property
+    def speed_m_s(self) -> float:
+        """Scalar speed."""
+        return math.hypot(*self._velocity)
+
+    def start(self) -> None:
+        """Begin moving."""
+        if not self._running:
+            self._running = True
+            self._last_update_ns = self._sim.now_ns
+            self._timer.start(self._interval_ns)
+
+    def stop(self) -> None:
+        """Freeze at the current position."""
+        if self._running:
+            self._apply_motion()
+            self._running = False
+            self._timer.cancel()
+
+    def set_velocity(self, velocity_m_s: tuple[float, float]) -> None:
+        """Change direction/speed, applying motion accumulated so far."""
+        self._apply_motion()
+        self._velocity = velocity_m_s
+
+    def _apply_motion(self) -> None:
+        elapsed_s = (self._sim.now_ns - self._last_update_ns) / 1e9
+        x, y = self._device.position_m
+        self._device.position_m = (
+            x + self._velocity[0] * elapsed_s,
+            y + self._velocity[1] * elapsed_s,
+        )
+        self._last_update_ns = self._sim.now_ns
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._apply_motion()
+        self._timer.start(self._interval_ns)
+
+
+def walk_away(
+    sim: Simulator,
+    device,
+    speed_m_s: float,
+    update_interval_s: float = 0.1,
+) -> LinearMobility:
+    """Move a station along +x at ``speed_m_s`` (the range-walk pattern)."""
+    if speed_m_s <= 0:
+        raise ConfigurationError(f"speed must be > 0 m/s, got {speed_m_s}")
+    mobility = LinearMobility(
+        sim, device, (speed_m_s, 0.0), update_interval_s
+    )
+    mobility.start()
+    return mobility

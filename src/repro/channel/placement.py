@@ -1,0 +1,65 @@
+"""Station placements for the paper's topologies.
+
+All the paper's scenarios are colinear: two stations for the throughput
+and range experiments, four for the hidden/exposed experiments
+(Figures 5, 6, 8 and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channel.shadowing import Position, distance_m
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Named station positions on a line."""
+
+    name: str
+    positions: tuple[Position, ...]
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def distance(self, i: int, j: int) -> float:
+        """d(i, j) between stations ``i`` and ``j`` (0-based)."""
+        return distance_m(self.positions[i], self.positions[j])
+
+
+def linear_positions(*gaps_m: float) -> tuple[Position, ...]:
+    """Positions of ``len(gaps) + 1`` stations separated by the given gaps."""
+    if any(gap <= 0 for gap in gaps_m):
+        raise ConfigurationError(f"station gaps must be > 0 m, got {gaps_m}")
+    positions = [(0.0, 0.0)]
+    x = 0.0
+    for gap in gaps_m:
+        x += gap
+        positions.append((x, 0.0))
+    return tuple(positions)
+
+
+def chain_placement(name: str, *gaps_m: float) -> Placement:
+    """A named colinear placement (S1, S2, ... left to right)."""
+    return Placement(name=name, positions=linear_positions(*gaps_m))
+
+
+def two_nodes(distance: float = 10.0) -> Placement:
+    """Sender and receiver well inside transmission range (Figure 2)."""
+    return chain_placement("two-nodes", distance)
+
+
+def figure6_placement(d23_m: float = 80.0) -> Placement:
+    """The asymmetric 11 Mbps scenario: 25 / 80-85 / 25 m (Figure 6)."""
+    return chain_placement("figure6-11mbps", 25.0, d23_m, 25.0)
+
+
+def figure8_placement(d23_m: float = 90.0) -> Placement:
+    """The asymmetric 2 Mbps scenario: 25 / 90-95 / 25 m (Figure 8)."""
+    return chain_placement("figure8-2mbps", 25.0, d23_m, 25.0)
+
+
+def figure10_placement(d23_m: float = 60.0) -> Placement:
+    """The symmetric scenario: 25 / 60-65 / 25 m (Figure 10)."""
+    return chain_placement("figure10-symmetric", 25.0, d23_m, 25.0)

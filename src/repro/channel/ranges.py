@@ -1,0 +1,71 @@
+"""Analytic range tables from a channel model and radio thresholds.
+
+Reproduces the paper's Table 3 structure: for each data rate, the distance
+at which the mean received power crosses the receiver sensitivity (the
+*transmission range*), plus the control-frame ranges and the physical
+carrier-sensing range.  These are the deterministic centres of the
+loss-vs-distance curves; the simulation adds the shadowing spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.channel.propagation import PropagationModel
+from repro.core.params import Rate
+from repro.core.range_model import solve_range_m
+
+
+@dataclass(frozen=True)
+class RangeTable:
+    """Analytic ranges, in metres."""
+
+    data_tx_range_m: dict[Rate, float]
+    control_tx_range_m: dict[Rate, float]
+    carrier_sense_range_m: float
+
+    def describe(self) -> str:
+        """A Table-3-like text rendering."""
+        lines = ["rate       data TX range   control TX range"]
+        for rate in sorted(self.data_tx_range_m, key=lambda r: -r.mbps):
+            control = self.control_tx_range_m.get(rate)
+            control_text = f"{control:7.1f} m" if control is not None else "      -"
+            lines.append(
+                f"{str(rate):9}  {self.data_tx_range_m[rate]:7.1f} m      "
+                f"{control_text}"
+            )
+        lines.append(f"carrier-sense range: {self.carrier_sense_range_m:.1f} m")
+        return "\n".join(lines)
+
+
+def compute_range_table(
+    propagation: PropagationModel,
+    tx_power_dbm: float,
+    data_sensitivity_dbm: Mapping[Rate, float],
+    cs_threshold_dbm: float,
+    control_rates: tuple[Rate, ...] = (Rate.MBPS_1, Rate.MBPS_2),
+    extra_loss_db: float = 0.0,
+) -> RangeTable:
+    """Solve the mean ranges for every rate.
+
+    ``extra_loss_db`` models a day offset (Figure 4): positive values
+    shrink every range.
+    """
+
+    def loss(distance: float) -> float:
+        return propagation.path_loss_db(distance) + extra_loss_db
+
+    data_ranges = {
+        rate: solve_range_m(loss, tx_power_dbm, threshold)
+        for rate, threshold in data_sensitivity_dbm.items()
+    }
+    control_ranges = {
+        rate: data_ranges[rate] for rate in control_rates if rate in data_ranges
+    }
+    cs_range = solve_range_m(loss, tx_power_dbm, cs_threshold_dbm)
+    return RangeTable(
+        data_tx_range_m=data_ranges,
+        control_tx_range_m=control_ranges,
+        carrier_sense_range_m=cs_range,
+    )

@@ -1,0 +1,93 @@
+"""Slow time variation of the channel ("weather").
+
+The paper observed that transmission ranges change between days (Figure 4)
+and drift within a single experiment (footnote 4).  We model this with a
+per-run constant day offset plus a first-order Gauss-Markov process: an
+extra attenuation X(t) with
+
+    X(t2) = a X(t1) + sqrt(1 - a^2) * N(0, sigma),   a = exp(-dt / tau)
+
+which is stationary with standard deviation ``sigma`` and correlation time
+``tau``.  The process is sampled lazily at the times the medium asks for,
+so it costs nothing when unused.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import NS_PER_S
+
+
+@dataclass(frozen=True)
+class DayConditions:
+    """A day's propagation conditions for the Figure-4 experiment.
+
+    ``offset_db`` is added to every link's path loss for the whole run:
+    positive values mean worse propagation (shorter ranges).
+    """
+
+    name: str
+    offset_db: float
+    sigma_db: float = 1.5
+    correlation_time_s: float = 30.0
+
+    @classmethod
+    def good_day(cls) -> "DayConditions":
+        """The better of the two measurement days (06/12/2002)."""
+        return cls(name="2002-12-06", offset_db=-1.5)
+
+    @classmethod
+    def bad_day(cls) -> "DayConditions":
+        """The worse day (09/12/2002): ~3 dB extra loss, shorter ranges."""
+        return cls(name="2002-12-09", offset_db=1.5)
+
+
+class WeatherProcess:
+    """Lazily sampled Gauss-Markov extra attenuation."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        conditions: DayConditions | None = None,
+    ):
+        self._conditions = conditions if conditions is not None else DayConditions(
+            name="calm", offset_db=0.0, sigma_db=0.0
+        )
+        if self._conditions.sigma_db < 0:
+            raise ConfigurationError("weather sigma must be >= 0 dB")
+        if self._conditions.correlation_time_s <= 0:
+            raise ConfigurationError("weather correlation time must be > 0 s")
+        self._rng = rng
+        # The drift starts at the day's nominal conditions so that runs
+        # of the same day are directly comparable (a random start would
+        # add a per-run offset on top of the day offset).
+        self._state_db = 0.0
+        self._state_time_ns = 0
+
+    @property
+    def conditions(self) -> DayConditions:
+        """The day this process models."""
+        return self._conditions
+
+    def offset_db(self, time_ns: int) -> float:
+        """Total extra attenuation at ``time_ns`` (day offset + drift)."""
+        return self._conditions.offset_db + self._drift_db(time_ns)
+
+    def _drift_db(self, time_ns: int) -> float:
+        if self._conditions.sigma_db == 0.0:
+            return 0.0
+        if time_ns < self._state_time_ns:
+            # The medium always asks in non-decreasing time order; querying
+            # the past returns the held state rather than rewinding.
+            return self._state_db
+        if time_ns > self._state_time_ns:
+            dt_s = (time_ns - self._state_time_ns) / NS_PER_S
+            a = math.exp(-dt_s / self._conditions.correlation_time_s)
+            noise = self._rng.gauss(0.0, self._conditions.sigma_db)
+            self._state_db = a * self._state_db + math.sqrt(1.0 - a * a) * noise
+            self._state_time_ns = time_ns
+        return self._state_db

@@ -1,0 +1,90 @@
+"""Command-line front-end: ``repro80211 <experiment>``.
+
+Regenerates the paper's tables and figures from the terminal::
+
+    repro80211 list
+    repro80211 table2
+    repro80211 figure3 --probes 300 --seed 7
+    repro80211 figure7 --duration 20
+    repro80211 all --duration 5 --probes 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro80211",
+        description=(
+            "Reproduce the tables and figures of 'IEEE 802.11 Ad Hoc "
+            "Networks: Performance Measurements' (ICDCS-W 2003)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list' to enumerate, or 'all'",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="master random seed (default 1)"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        help="simulated seconds per dynamic run (default 10)",
+    )
+    parser.add_argument(
+        "--probes",
+        type=int,
+        default=200,
+        help="probe frames per distance point in range sweeps (default 200)",
+    )
+    return parser
+
+
+def _list_experiments() -> str:
+    lines = ["available experiments:"]
+    for name in sorted(EXPERIMENTS):
+        lines.append(f"  {name:10}  {EXPERIMENTS[name].description}")
+    lines.append("  all         run everything above in sequence")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        try:
+            print(_list_experiments())
+        except BrokenPipeError:  # pragma: no cover - `repro list | head`
+            pass
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    try:
+        for name in names:
+            experiment = get_experiment(name)
+            started = time.monotonic()
+            output = experiment.run(
+                seed=args.seed, duration_s=args.duration, probes=args.probes
+            )
+            elapsed = time.monotonic() - started
+            print(output)
+            print(f"[{name} completed in {elapsed:.1f}s wall clock]")
+            print()
+    except BrokenPipeError:  # pragma: no cover - output piped to head
+        return 0
+    except Exception as error:  # pragma: no cover - CLI surface
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

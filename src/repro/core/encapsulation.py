@@ -1,0 +1,98 @@
+"""Encapsulation-overhead stack (Figure 1 of the paper).
+
+A stream of ``m`` application bytes is wrapped by the transport protocol
+(UDP or TCP), by IP, by the MAC header + FCS and finally by the PLCP
+preamble/header.  This module computes the byte counts at each layer; the
+airtime module turns them into channel time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: IPv4 header without options.
+IP_HEADER_BYTES = 20
+
+
+class TransportProtocol(enum.Enum):
+    """Transport protocol used by the application (paper uses both)."""
+
+    UDP = "udp"
+    TCP = "tcp"
+
+    @property
+    def header_bytes(self) -> int:
+        """Transport header size: 8 bytes for UDP, 20 for TCP."""
+        if self is TransportProtocol.UDP:
+            return 8
+        return 20
+
+
+def mac_payload_bytes(
+    app_payload_bytes: int,
+    transport: TransportProtocol = TransportProtocol.UDP,
+    ip_header_bytes: int = IP_HEADER_BYTES,
+) -> int:
+    """Bytes handed to the MAC for ``app_payload_bytes`` application bytes.
+
+    This is the MAC *payload* (MSDU): application data + transport header +
+    IP header.  The MAC header/FCS and PLCP are accounted separately.
+    """
+    if app_payload_bytes < 0:
+        raise ConfigurationError(
+            f"application payload must be >= 0 bytes, got {app_payload_bytes}"
+        )
+    return app_payload_bytes + transport.header_bytes + ip_header_bytes
+
+
+@dataclass(frozen=True)
+class LayerOverhead:
+    """One row of the Figure-1 stack: a layer and the bytes it carries."""
+
+    layer: str
+    header_bytes: int
+    payload_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Header plus payload at this layer."""
+        return self.header_bytes + self.payload_bytes
+
+
+def encapsulation_report(
+    app_payload_bytes: int,
+    transport: TransportProtocol = TransportProtocol.UDP,
+    mac_header_bytes: int = 34,
+) -> list[LayerOverhead]:
+    """Figure-1 style report of the encapsulation of ``m`` bytes.
+
+    Returns one :class:`LayerOverhead` per layer from the application down
+    to the MAC (the PLCP is time-, not byte-, based and is reported by the
+    airtime calculator instead).
+    """
+    transport_total = app_payload_bytes + transport.header_bytes
+    ip_total = transport_total + IP_HEADER_BYTES
+    return [
+        LayerOverhead("application", 0, app_payload_bytes),
+        LayerOverhead(transport.value, transport.header_bytes, app_payload_bytes),
+        LayerOverhead("ip", IP_HEADER_BYTES, transport_total),
+        LayerOverhead("mac", mac_header_bytes, ip_total),
+    ]
+
+
+def overhead_fraction(
+    app_payload_bytes: int,
+    transport: TransportProtocol = TransportProtocol.UDP,
+    mac_header_bytes: int = 34,
+) -> float:
+    """Fraction of MAC-frame bytes that are *not* application data."""
+    if app_payload_bytes < 0:
+        raise ConfigurationError("application payload must be >= 0 bytes")
+    total = app_payload_bytes + transport.header_bytes + IP_HEADER_BYTES
+    total += mac_header_bytes
+    if total == 0:
+        return 0.0
+    return 1.0 - app_payload_bytes / total

@@ -1,0 +1,247 @@
+"""IEEE 802.11b protocol parameters (Table 1 of the paper).
+
+The values here are the exact constants the paper uses to evaluate its
+analytic throughput model, plus the standard constants the simulator needs
+(retry limits, EIFS, contention-window semantics).
+
+Two conventions deserve a note:
+
+* **Contention window.**  Table 1 lists ``CWmin = 32 tslot``.  Following the
+  standard, a backoff is drawn uniformly from ``{0, 1, ..., CW - 1}`` where
+  the initial ``CW`` is 32 slots; the *mean* initial backoff is therefore
+  15.5 slots (310 µs).  This is the value that makes the paper's Table 2
+  reproduce to the third decimal (the paper prints the mean as
+  ``CWmin/2 * Slot_Time`` but evaluates it as 15.5 slots).
+* **Header rate.**  The paper's model transmits the PLCP at 1 Mbps, the MAC
+  header at the *basic* rate (2 Mbps, capped by the data rate) and only the
+  MAC payload at the NIC data rate.  A real 802.11b PSDU is sent at a single
+  rate; :class:`HeaderRatePolicy` selects between the two conventions so
+  both the paper-faithful model and a standard-faithful one are available.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+class Rate(enum.Enum):
+    """The four DSSS/CCK bit rates of IEEE 802.11b."""
+
+    MBPS_1 = 1.0
+    MBPS_2 = 2.0
+    MBPS_5_5 = 5.5
+    MBPS_11 = 11.0
+
+    @property
+    def mbps(self) -> float:
+        """Rate in megabits per second."""
+        return self.value
+
+    @property
+    def bps(self) -> float:
+        """Rate in bits per second."""
+        return self.value * 1e6
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.value:g} Mbps"
+
+    @classmethod
+    def from_mbps(cls, mbps: float) -> "Rate":
+        """Look up a rate by its Mbps value.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``mbps`` is not one of 1, 2, 5.5, 11.
+        """
+        for rate in cls:
+            if rate.value == mbps:
+                return rate
+        raise ConfigurationError(f"{mbps} Mbps is not an 802.11b rate")
+
+
+#: All rates, slowest first.
+ALL_RATES: tuple[Rate, ...] = (
+    Rate.MBPS_1,
+    Rate.MBPS_2,
+    Rate.MBPS_5_5,
+    Rate.MBPS_11,
+)
+
+#: The basic rate set: rates every station can receive.  Control frames
+#: (RTS/CTS/ACK) and broadcast frames must use one of these (paper §2).
+BASIC_RATE_SET: tuple[Rate, ...] = (Rate.MBPS_1, Rate.MBPS_2)
+
+
+class PlcpPreamble(enum.Enum):
+    """PLCP preamble format (802.11b defines long and short)."""
+
+    LONG = "long"
+    SHORT = "short"
+
+
+@dataclass(frozen=True)
+class PlcpParameters:
+    """Timing of the physical-layer convergence procedure framing.
+
+    With the long preamble both the 144-bit preamble and the 48-bit header
+    are sent at 1 Mbps (192 µs total, the paper's ``PHYhdr``).  With the
+    short preamble the 72-bit preamble is sent at 1 Mbps and the 48-bit
+    header at 2 Mbps (96 µs total).
+    """
+
+    preamble_bits: int
+    preamble_rate: Rate
+    header_bits: int
+    header_rate: Rate
+
+    @property
+    def duration_us(self) -> float:
+        """Total PLCP airtime in microseconds."""
+        return (
+            self.preamble_bits / self.preamble_rate.mbps
+            + self.header_bits / self.header_rate.mbps
+        )
+
+    @classmethod
+    def long(cls) -> "PlcpParameters":
+        """The long PLCP format assumed by the paper (192 µs)."""
+        return cls(
+            preamble_bits=144,
+            preamble_rate=Rate.MBPS_1,
+            header_bits=48,
+            header_rate=Rate.MBPS_1,
+        )
+
+    @classmethod
+    def short(cls) -> "PlcpParameters":
+        """The optional short PLCP format (96 µs)."""
+        return cls(
+            preamble_bits=72,
+            preamble_rate=Rate.MBPS_1,
+            header_bits=48,
+            header_rate=Rate.MBPS_2,
+        )
+
+    @classmethod
+    def for_preamble(cls, preamble: PlcpPreamble) -> "PlcpParameters":
+        """Build the parameter set for a preamble format."""
+        if preamble is PlcpPreamble.LONG:
+            return cls.long()
+        return cls.short()
+
+
+@dataclass(frozen=True)
+class MacParameters:
+    """MAC-layer constants (Table 1 plus standard DCF constants)."""
+
+    slot_time_us: float = 20.0
+    sifs_us: float = 10.0
+    difs_us: float = 50.0
+    #: Initial contention window, in slots.  Backoff counts are drawn
+    #: uniformly from ``{0, ..., cw_min_slots - 1}``.
+    cw_min_slots: int = 32
+    #: Maximum contention window, in slots.
+    cw_max_slots: int = 1024
+    #: MAC data-frame header including the FCS, in bits (34 bytes; the
+    #: paper counts the 4-address format).
+    mac_header_bits: int = 272
+    #: ACK frame body (without PLCP), in bits (14 bytes).
+    ack_bits: int = 112
+    #: RTS frame body (without PLCP), in bits (20 bytes).
+    rts_bits: int = 160
+    #: CTS frame body (without PLCP), in bits (14 bytes).
+    cts_bits: int = 112
+    #: One-way propagation delay τ assumed by Table 1, in microseconds.
+    propagation_delay_us: float = 1.0
+    #: Retry limit for frames shorter than the RTS threshold.
+    short_retry_limit: int = 7
+    #: Retry limit for frames at least as long as the RTS threshold.
+    long_retry_limit: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cw_min_slots < 1 or self.cw_max_slots < self.cw_min_slots:
+            raise ConfigurationError(
+                "contention window must satisfy 1 <= CWmin <= CWmax, got "
+                f"CWmin={self.cw_min_slots}, CWmax={self.cw_max_slots}"
+            )
+        if self.sifs_us < 0 or self.difs_us < self.sifs_us:
+            raise ConfigurationError(
+                "interframe spaces must satisfy 0 <= SIFS <= DIFS, got "
+                f"SIFS={self.sifs_us}, DIFS={self.difs_us}"
+            )
+
+    @property
+    def mean_initial_backoff_us(self) -> float:
+        """Mean backoff with the initial window: (CWmin−1)/2 slots."""
+        return (self.cw_min_slots - 1) / 2.0 * self.slot_time_us
+
+    def eifs_us(self, plcp: PlcpParameters, lowest_rate: Rate = Rate.MBPS_1) -> float:
+        """Extended interframe space used after an erroneous reception.
+
+        EIFS = SIFS + DIFS + time to transmit an ACK at the lowest basic
+        rate (IEEE 802.11-1999 §9.2.10).
+        """
+        ack_time = plcp.duration_us + self.ack_bits / lowest_rate.mbps
+        return self.sifs_us + self.difs_us + ack_time
+
+
+class HeaderRatePolicy(enum.Enum):
+    """At which rate the MAC header of a data frame is modelled.
+
+    ``PAPER_BASIC_RATE`` reproduces the paper's Table 2 exactly: the MAC
+    header is carried at ``min(2 Mbps, data rate)`` while the payload uses
+    the data rate.  ``DATA_RATE`` is the standard behaviour (the whole PSDU
+    at the data rate).
+    """
+
+    PAPER_BASIC_RATE = "paper-basic-rate"
+    DATA_RATE = "data-rate"
+
+    def header_rate(self, data_rate: Rate) -> Rate:
+        """Rate used for the MAC header of a frame sent at ``data_rate``."""
+        if self is HeaderRatePolicy.DATA_RATE:
+            return data_rate
+        if data_rate.mbps <= Rate.MBPS_2.mbps:
+            return data_rate
+        return Rate.MBPS_2
+
+
+@dataclass(frozen=True)
+class Dot11bConfig:
+    """A complete 802.11b protocol configuration.
+
+    Bundles the MAC constants, PLCP format, control-frame rate and header
+    rate policy.  The defaults reproduce the paper's analytic setting.
+    """
+
+    mac: MacParameters = field(default_factory=MacParameters)
+    plcp: PlcpParameters = field(default_factory=PlcpParameters.long)
+    #: Rate for RTS/CTS/ACK frames.  Must belong to the basic rate set.
+    control_rate: Rate = Rate.MBPS_2
+    header_rate_policy: HeaderRatePolicy = HeaderRatePolicy.PAPER_BASIC_RATE
+
+    def __post_init__(self) -> None:
+        if self.control_rate not in BASIC_RATE_SET:
+            raise ConfigurationError(
+                f"control rate {self.control_rate} is not in the basic rate "
+                f"set {[str(r) for r in BASIC_RATE_SET]}"
+            )
+
+    def control_rate_for(self, data_rate: Rate) -> Rate:
+        """Control rate actually usable with a given data rate.
+
+        A station transmitting data at 1 Mbps cannot use a 2 Mbps control
+        rate, so the configured control rate is capped by the data rate.
+        """
+        if self.control_rate.mbps > data_rate.mbps:
+            return data_rate
+        return self.control_rate
+
+
+#: Default parameter singletons used across the library.
+DEFAULT_MAC_PARAMETERS = MacParameters()
+DEFAULT_CONFIG = Dot11bConfig()

@@ -1,0 +1,106 @@
+"""Analytic link-budget range estimation.
+
+Given a monotonically increasing path-loss function and a receiver
+threshold, the transmission range is the distance at which the received
+power falls to the threshold; the carrier-sense and interference ranges are
+obtained with the carrier-sense threshold and an SINR requirement
+respectively.  Under log-normal shadowing the *probability* of losing a
+packet at a given distance has the closed form used here, which the
+range-measurement experiments compare against the simulated loss curves
+(Figure 3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+#: A path-loss model: distance in metres -> loss in dB.
+PathLossFn = Callable[[float], float]
+
+
+def solve_range_m(
+    path_loss_db: PathLossFn,
+    tx_power_dbm: float,
+    threshold_dbm: float,
+    lo_m: float = 0.1,
+    hi_m: float = 100_000.0,
+    tolerance_m: float = 1e-3,
+) -> float:
+    """Distance at which the received power equals ``threshold_dbm``.
+
+    Uses bisection, assuming ``path_loss_db`` is non-decreasing in distance.
+    Returns ``hi_m`` if the threshold is never reached within the bracket
+    and ``lo_m`` if the link is already below threshold at ``lo_m``.
+    """
+    if lo_m <= 0 or hi_m <= lo_m:
+        raise ConfigurationError(
+            f"invalid search bracket [{lo_m}, {hi_m}] for range solving"
+        )
+
+    def margin(distance: float) -> float:
+        return tx_power_dbm - path_loss_db(distance) - threshold_dbm
+
+    if margin(lo_m) <= 0.0:
+        return lo_m
+    if margin(hi_m) > 0.0:
+        return hi_m
+    lo, hi = lo_m, hi_m
+    while hi - lo > tolerance_m:
+        mid = (lo + hi) / 2.0
+        if margin(mid) > 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def loss_probability(
+    path_loss_db: PathLossFn,
+    tx_power_dbm: float,
+    sensitivity_dbm: float,
+    distance_m: float,
+    shadowing_sigma_db: float,
+) -> float:
+    """P(received power < sensitivity) under log-normal shadowing.
+
+    With shadowing X ~ N(0, σ²) in dB, the outage probability at distance
+    ``d`` is Q(margin/σ) where margin = P_tx − PL(d) − sensitivity.
+    With σ = 0 the function degenerates to a hard threshold.
+    """
+    if distance_m <= 0:
+        raise ConfigurationError(f"distance must be > 0 m, got {distance_m}")
+    margin_db = tx_power_dbm - path_loss_db(distance_m) - sensitivity_dbm
+    if shadowing_sigma_db < 0:
+        raise ConfigurationError(
+            f"shadowing sigma must be >= 0 dB, got {shadowing_sigma_db}"
+        )
+    if shadowing_sigma_db == 0.0:
+        return 0.0 if margin_db > 0 else 1.0
+    return 0.5 * math.erfc(margin_db / (shadowing_sigma_db * math.sqrt(2.0)))
+
+
+def interference_range_m(
+    path_loss_db: PathLossFn,
+    tx_power_dbm: float,
+    sender_receiver_distance_m: float,
+    required_sinr_db: float,
+    lo_m: float = 0.1,
+    hi_m: float = 100_000.0,
+) -> float:
+    """Interference range around a receiver (paper §2 definition).
+
+    A transmission from the sender at distance ``d`` is received with power
+    ``P_rx``; an interferer closer to the receiver than the returned range
+    pushes the SINR below ``required_sinr_db`` and destroys the reception.
+    For equal transmit powers the condition is
+    ``PL(d_interferer) < PL(d) + required_sinr_db``.
+    """
+    signal_dbm = tx_power_dbm - path_loss_db(sender_receiver_distance_m)
+    # The interferer is harmful while its power exceeds signal − SINR.
+    harmful_threshold_dbm = signal_dbm - required_sinr_db
+    return solve_range_m(
+        path_loss_db, tx_power_dbm, harmful_threshold_dbm, lo_m=lo_m, hi_m=hi_m
+    )

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so applications can catch library failures with a
+single ``except`` clause while still letting programming errors
+(``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter set or scenario description is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an inconsistent internal state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped simulator."""
+
+
+class MediumError(SimulationError):
+    """The wireless medium's signal bookkeeping was violated."""
+
+
+class MacError(SimulationError):
+    """The DCF state machine reached an impossible transition."""
+
+
+class TransportError(ReproError):
+    """A transport-layer protocol violation (bad segment, closed socket)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment could not be built or produced no usable output."""

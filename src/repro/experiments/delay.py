@@ -1,0 +1,99 @@
+"""Extension experiment ``delay``: queueing delay vs offered load.
+
+The paper measures throughput only; the same instrumentation also
+yields one-way delay.  This experiment sweeps the offered CBR load from
+well below saturation to beyond it: the mean and tail delay stay near
+the single-frame service time until the load approaches Equation (1)'s
+capacity, then explode as the MAC queue fills — the textbook hockey
+stick that makes the saturation point visible from the delay side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.tables import render_table
+from repro.apps.cbr import CbrSource
+from repro.apps.sink import UdpSink
+from repro.core.params import Rate
+from repro.core.throughput_model import ThroughputModel
+from repro.experiments.common import build_network
+
+_PORT = 5001
+
+#: Offered loads as fractions of the Equation-(1) capacity.
+DEFAULT_LOAD_FRACTIONS: tuple[float, ...] = (0.2, 0.5, 0.8, 0.95, 1.1)
+
+
+@dataclass(frozen=True)
+class DelayPoint:
+    """Delay statistics at one offered load."""
+
+    load_fraction: float
+    offered_bps: float
+    delivered_bps: float
+    mean_delay_s: float
+    p99_delay_s: float
+
+
+def run_delay_sweep(
+    rate: Rate = Rate.MBPS_11,
+    payload_bytes: int = 512,
+    load_fractions: Sequence[float] = DEFAULT_LOAD_FRACTIONS,
+    duration_s: float = 5.0,
+    warmup_s: float = 1.0,
+    seed: int = 1,
+) -> list[DelayPoint]:
+    """One delay measurement per offered load."""
+    capacity_bps = ThroughputModel().max_throughput_bps(payload_bytes, rate)
+    points = []
+    for fraction in load_fractions:
+        offered_bps = fraction * capacity_bps
+        net = build_network(
+            [0, 10], data_rate=rate, seed=seed, fast_sigma_db=0.0
+        )
+        sink = UdpSink(net[1], port=_PORT, warmup_s=warmup_s)
+        CbrSource(
+            net[0],
+            dst=2,
+            dst_port=_PORT,
+            payload_bytes=payload_bytes,
+            rate_bps=offered_bps,
+            timestamped=True,
+        )
+        net.run(duration_s)
+        points.append(
+            DelayPoint(
+                load_fraction=fraction,
+                offered_bps=offered_bps,
+                delivered_bps=sink.throughput_bps(duration_s),
+                mean_delay_s=sink.delays.mean_s,
+                p99_delay_s=sink.delays.percentile_s(0.99),
+            )
+        )
+    return points
+
+
+def format_delay_sweep(points: list[DelayPoint], rate: Rate) -> str:
+    """Delay-vs-load table."""
+    return render_table(
+        [
+            "load (xEq1)",
+            "offered (Mbps)",
+            "delivered (Mbps)",
+            "mean delay (ms)",
+            "p99 delay (ms)",
+        ],
+        [
+            (
+                point.load_fraction,
+                point.offered_bps / 1e6,
+                point.delivered_bps / 1e6,
+                point.mean_delay_s * 1e3,
+                point.p99_delay_s * 1e3,
+            )
+            for point in points
+        ],
+        title=f"Extension - one-way delay vs offered load at {rate}",
+    )

@@ -1,0 +1,77 @@
+"""ASCII renderings of the paper's diagram figures (1, 5, 6, 8, 10).
+
+The paper's remaining figures are diagrams rather than data: the
+encapsulation stack (Figure 1) and the network topologies (Figures 5,
+6, 8, 10).  Rendering them from the *actual configuration objects*
+keeps the documentation honest — if a placement or header size changes,
+the diagram follows.
+"""
+
+from __future__ import annotations
+
+from repro.channel.placement import Placement
+from repro.core.encapsulation import TransportProtocol, encapsulation_report
+from repro.core.params import Dot11bConfig
+
+
+def format_figure1(
+    app_payload_bytes: int = 512,
+    transport: TransportProtocol = TransportProtocol.UDP,
+    config: Dot11bConfig | None = None,
+) -> str:
+    """Figure 1: the encapsulation overhead stack."""
+    if config is None:
+        config = Dot11bConfig()
+    report = encapsulation_report(app_payload_bytes, transport)
+    lines = [
+        f"Figure 1 - encapsulation of m = {app_payload_bytes} B over "
+        f"{transport.value.upper()}",
+        "",
+        f"{'layer':<12} {'header':>8} {'payload':>8} {'total':>8}",
+    ]
+    for row in report:
+        lines.append(
+            f"{row.layer:<12} {row.header_bytes:>7}B {row.payload_bytes:>7}B "
+            f"{row.total_bytes:>7}B"
+        )
+    plcp = config.plcp
+    lines.append(
+        f"{'plcp':<12} {plcp.preamble_bits + plcp.header_bits:>6}b "
+        f"{'':>8} {plcp.duration_us:>6.0f}us"
+    )
+    lines.append("")
+    lines.append(
+        "PLCP at 1 Mbps, MAC header at the basic rate, payload at the "
+        "NIC rate."
+    )
+    return "\n".join(lines)
+
+
+def format_scenario(
+    placement: Placement,
+    sessions: tuple[tuple[int, int], ...] = ((0, 1), (2, 3)),
+    scale_m_per_char: float = 2.5,
+) -> str:
+    """An S1...S4 topology diagram with distances and session arrows."""
+    xs = [x for x, _ in placement.positions]
+    width = int(max(xs) / scale_m_per_char) + 1
+    station_line = [" "] * (width + 4)
+    for index, x in enumerate(xs):
+        column = int(x / scale_m_per_char)
+        label = f"S{index + 1}"
+        for offset, char in enumerate(label):
+            station_line[column + offset] = char
+    distance_parts = []
+    for left, right in zip(range(len(xs)), range(1, len(xs))):
+        distance_parts.append(f"d({left + 1},{right + 1})={placement.distance(left, right):g}m")
+    session_parts = [
+        f"S{tx + 1} -> S{rx + 1}" for tx, rx in sessions
+    ]
+    return "\n".join(
+        [
+            f"Scenario '{placement.name}'",
+            "".join(station_line).rstrip(),
+            "  ".join(distance_parts),
+            "sessions: " + ", ".join(session_parts),
+        ]
+    )

@@ -1,0 +1,205 @@
+"""Experiments ``figure7``/``figure9``/``figure11``/``figure12``.
+
+Two concurrent sessions on a four-station line (paper §3.3).  The
+asymmetric placements put the second session's receiver S4 on the far
+side, the symmetric placement reverses session 2 (S4 -> S3) so both
+receivers sit in the middle.
+
+The paper's observations the runner reproduces:
+
+* 11 Mbps (Figures 6-7): the sessions interact even though d(S1, S3)
+  exceeds every transmission range — physical carrier sensing and PLCP
+  locking couple them; the exposed receiver S2 cannot return its MAC
+  ACKs while S3/S4 are active, so session 1 starves.
+* 2 Mbps (Figures 8-9): larger ranges give the stations a more uniform
+  view of the channel and the system is visibly more balanced.
+* TCP narrows the gap in both cases (TCP-ACKs make the load pattern
+  less asymmetric and congestion control throttles the winner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.apps.bulk import BulkTcpReceiver, BulkTcpSender
+from repro.apps.cbr import CbrSource
+from repro.apps.sink import UdpSink
+from repro.channel.placement import (
+    Placement,
+    figure6_placement,
+    figure8_placement,
+    figure10_placement,
+)
+from repro.core.params import Rate
+from repro.errors import ExperimentError
+from repro.experiments.common import build_network
+
+_BASE_PORT = 5001
+
+#: (sender index, receiver index) per session, 0-based station indices.
+ASYMMETRIC_SESSIONS = ((0, 1), (2, 3))  # S1->S2, S3->S4
+SYMMETRIC_SESSIONS = ((0, 1), (3, 2))  # S1->S2, S4->S3
+
+
+@dataclass(frozen=True)
+class SessionThroughput:
+    """One bar of a four-node figure."""
+
+    label: str
+    kbps: float
+
+
+@dataclass(frozen=True)
+class FourNodeResult:
+    """One (transport, RTS/CTS) panel of a four-node figure."""
+
+    scenario: str
+    rate: Rate
+    transport: str
+    rts_cts: bool
+    sessions: tuple[SessionThroughput, SessionThroughput]
+
+    @property
+    def session1_kbps(self) -> float:
+        """Throughput of session 1 (S1 -> S2)."""
+        return self.sessions[0].kbps
+
+    @property
+    def session2_kbps(self) -> float:
+        """Throughput of session 2."""
+        return self.sessions[1].kbps
+
+    @property
+    def ratio(self) -> float:
+        """session2 / session1 — the asymmetry measure."""
+        if self.session1_kbps == 0:
+            return float("inf")
+        return self.session2_kbps / self.session1_kbps
+
+
+def run_four_node_scenario(
+    placement: Placement,
+    rate: Rate,
+    transport: str,
+    rts_cts: bool,
+    sessions: tuple[tuple[int, int], tuple[int, int]] = ASYMMETRIC_SESSIONS,
+    duration_s: float = 10.0,
+    warmup_s: float = 1.0,
+    payload_bytes: int = 512,
+    seed: int = 1,
+) -> FourNodeResult:
+    """Run one panel: two concurrent sessions, measure both."""
+    if transport not in ("udp", "tcp"):
+        raise ExperimentError(f"unknown transport {transport!r}")
+    positions = [x for x, _ in placement.positions]
+    net = build_network(
+        positions, data_rate=rate, rts_enabled=rts_cts, seed=seed
+    )
+    measurements = []
+    for session_index, (tx, rx) in enumerate(sessions):
+        port = _BASE_PORT + session_index
+        label = f"{tx + 1}->{rx + 1}"
+        if transport == "udp":
+            sink = UdpSink(net[rx], port=port, warmup_s=warmup_s)
+            CbrSource(
+                net[tx],
+                dst=net[rx].address,
+                dst_port=port,
+                payload_bytes=payload_bytes,
+            )
+            measurements.append((label, sink))
+        else:
+            receiver = BulkTcpReceiver(net[rx], port=port, warmup_s=warmup_s)
+            BulkTcpSender(net[tx], dst=net[rx].address, dst_port=port)
+            measurements.append((label, receiver))
+    net.run(duration_s)
+    session_results = tuple(
+        SessionThroughput(
+            label=label, kbps=meter.throughput_bps(duration_s) / 1e3
+        )
+        for label, meter in measurements
+    )
+    return FourNodeResult(
+        scenario=placement.name,
+        rate=rate,
+        transport=transport,
+        rts_cts=rts_cts,
+        sessions=session_results,
+    )
+
+
+def _run_figure(
+    placement: Placement,
+    rate: Rate,
+    sessions,
+    duration_s: float,
+    seed: int,
+) -> list[FourNodeResult]:
+    results = []
+    for transport in ("udp", "tcp"):
+        for rts_cts in (False, True):
+            results.append(
+                run_four_node_scenario(
+                    placement,
+                    rate,
+                    transport,
+                    rts_cts,
+                    sessions=sessions,
+                    duration_s=duration_s,
+                    seed=seed,
+                )
+            )
+    return results
+
+
+def run_figure7(duration_s: float = 10.0, seed: int = 1) -> list[FourNodeResult]:
+    """Figure 7: asymmetric scenario at 11 Mbps (25 / 80 / 25 m)."""
+    return _run_figure(
+        figure6_placement(), Rate.MBPS_11, ASYMMETRIC_SESSIONS, duration_s, seed
+    )
+
+
+def run_figure9(duration_s: float = 10.0, seed: int = 1) -> list[FourNodeResult]:
+    """Figure 9: asymmetric scenario at 2 Mbps (25 / 90 / 25 m)."""
+    return _run_figure(
+        figure8_placement(), Rate.MBPS_2, ASYMMETRIC_SESSIONS, duration_s, seed
+    )
+
+
+def run_figure11(duration_s: float = 10.0, seed: int = 1) -> list[FourNodeResult]:
+    """Figure 11: symmetric scenario at 11 Mbps (25 / 60 / 25 m)."""
+    return _run_figure(
+        figure10_placement(), Rate.MBPS_11, SYMMETRIC_SESSIONS, duration_s, seed
+    )
+
+
+def run_figure12(duration_s: float = 10.0, seed: int = 1) -> list[FourNodeResult]:
+    """Figure 12: symmetric scenario at 2 Mbps (25 / 60 / 25 m)."""
+    return _run_figure(
+        figure10_placement(), Rate.MBPS_2, SYMMETRIC_SESSIONS, duration_s, seed
+    )
+
+
+def format_four_node(results: list[FourNodeResult], title: str) -> str:
+    """Figure-style session throughput table."""
+    return render_table(
+        [
+            "transport",
+            "RTS/CTS",
+            results[0].sessions[0].label + " (Kbps)",
+            results[0].sessions[1].label + " (Kbps)",
+            "ratio (s2/s1)",
+        ],
+        [
+            (
+                r.transport.upper(),
+                "yes" if r.rts_cts else "no",
+                round(r.session1_kbps, 1),
+                round(r.session2_kbps, 1),
+                round(r.ratio, 2) if r.session1_kbps > 0 else "inf",
+            )
+            for r in results
+        ],
+        title=title,
+    )

@@ -1,0 +1,56 @@
+"""The paper's published numbers, for paper-vs-measured reporting.
+
+Values transcribed from the tables of the paper; figure bar charts have
+no printed numbers, so for them we record the *qualitative* expectations
+(who wins, roughly by how much) that the reproduction is checked against.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import Rate
+
+#: Table 2, Mbps: (rate, payload bytes, rts_cts) -> max throughput.
+TABLE2_MBPS: dict[tuple[Rate, int, bool], float] = {
+    (Rate.MBPS_11, 512, False): 3.060,
+    (Rate.MBPS_11, 512, True): 2.549,
+    (Rate.MBPS_11, 1024, False): 4.788,
+    (Rate.MBPS_11, 1024, True): 4.139,
+    (Rate.MBPS_5_5, 512, False): 2.366,
+    (Rate.MBPS_5_5, 512, True): 2.049,
+    (Rate.MBPS_5_5, 1024, False): 3.308,
+    (Rate.MBPS_5_5, 1024, True): 2.985,
+    (Rate.MBPS_2, 512, False): 1.319,
+    (Rate.MBPS_2, 512, True): 1.214,
+    (Rate.MBPS_2, 1024, False): 1.589,
+    (Rate.MBPS_2, 1024, True): 1.511,
+    (Rate.MBPS_1, 512, False): 0.758,
+    (Rate.MBPS_1, 512, True): 0.738,
+    (Rate.MBPS_1, 1024, False): 0.862,
+    (Rate.MBPS_1, 1024, True): 0.839,
+}
+
+#: Table 3, metres: data transmission range bands per rate.
+TABLE3_DATA_RANGE_M: dict[Rate, tuple[float, float]] = {
+    Rate.MBPS_11: (25.0, 35.0),  # "30 meters"
+    Rate.MBPS_5_5: (65.0, 75.0),  # "70 meters"
+    Rate.MBPS_2: (90.0, 100.0),  # "90-100 meters"
+    Rate.MBPS_1: (110.0, 130.0),  # "110-130 meters"
+}
+
+#: Table 3, metres: control-frame transmission ranges.
+TABLE3_CONTROL_RANGE_M: dict[Rate, tuple[float, float]] = {
+    Rate.MBPS_2: (85.0, 100.0),  # "90 meters"
+    Rate.MBPS_1: (110.0, 130.0),  # "120 meters"
+}
+
+#: The ns-2 values the paper contrasts against (§2 and §3.2).
+NS2_TX_RANGE_M = 250.0
+NS2_PCS_RANGE_M = 550.0
+
+#: Qualitative expectations for the four-node figures.  Ratios are
+#: session2 / session1 throughput; the bar charts show session 2 clearly
+#: ahead at 11 Mbps and a much more balanced system at 2 Mbps.
+FIGURE7_MIN_UDP_RATIO = 1.5  # 11 Mbps, UDP: strong asymmetry
+FIGURE9_MAX_UDP_RATIO = 1.6  # 2 Mbps, UDP: "more balanced"
+#: TCP narrows the gap relative to UDP in the same configuration.
+TCP_NARROWS_GAP = True

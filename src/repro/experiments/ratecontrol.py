@@ -1,0 +1,90 @@
+"""Extension experiment ``arf``: dynamic rate switching vs fixed rates.
+
+Paper §2 notes that 802.11b cards may implement dynamic rate switching.
+The experiment sweeps a two-station link over distance and compares the
+saturation throughput of each fixed rate with ARF: a well-behaved rate
+controller should track the upper envelope of the fixed-rate curves,
+stepping down the ladder near each rate's range edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.tables import render_table
+from repro.apps.cbr import CbrSource
+from repro.apps.sink import UdpSink
+from repro.core.params import ALL_RATES, Rate
+from repro.experiments.common import build_network
+from repro.mac.ratecontrol import ArfConfig
+
+_PORT = 5001
+
+#: Distances spanning every rate's comfort zone and the gaps between.
+DEFAULT_DISTANCES_M: tuple[float, ...] = (10.0, 25.0, 45.0, 60.0, 80.0, 105.0)
+
+
+@dataclass(frozen=True)
+class ArfSweepRow:
+    """Throughput at one distance for every strategy, in Mbps."""
+
+    distance_m: float
+    fixed_mbps: dict[Rate, float]
+    arf_mbps: float
+
+    @property
+    def best_fixed_mbps(self) -> float:
+        """The upper envelope of the fixed-rate strategies."""
+        return max(self.fixed_mbps.values())
+
+
+def _throughput(distance_m, rate, arf, duration_s, warmup_s, seed) -> float:
+    net = build_network(
+        [0.0, distance_m],
+        data_rate=rate,
+        seed=seed,
+        arf=ArfConfig() if arf else None,
+    )
+    sink = UdpSink(net[1], port=_PORT, warmup_s=warmup_s)
+    CbrSource(net[0], dst=2, dst_port=_PORT, payload_bytes=512)
+    net.run(duration_s)
+    return sink.throughput_bps(duration_s) / 1e6
+
+
+def run_arf_sweep(
+    distances_m: Sequence[float] = DEFAULT_DISTANCES_M,
+    duration_s: float = 3.0,
+    warmup_s: float = 0.5,
+    seed: int = 1,
+) -> list[ArfSweepRow]:
+    """Fixed rates and ARF across the distance sweep."""
+    rows = []
+    for distance in distances_m:
+        fixed = {
+            rate: _throughput(distance, rate, False, duration_s, warmup_s, seed)
+            for rate in ALL_RATES
+        }
+        arf = _throughput(
+            distance, Rate.MBPS_11, True, duration_s, warmup_s, seed
+        )
+        rows.append(
+            ArfSweepRow(distance_m=distance, fixed_mbps=fixed, arf_mbps=arf)
+        )
+    return rows
+
+
+def format_arf_sweep(rows: list[ArfSweepRow]) -> str:
+    """Throughput-vs-distance table for every strategy."""
+    return render_table(
+        ["distance (m)"]
+        + [f"fixed {rate}" for rate in ALL_RATES]
+        + ["ARF", "ARF/best-fixed"],
+        [
+            [row.distance_m]
+            + [row.fixed_mbps[rate] for rate in ALL_RATES]
+            + [row.arf_mbps, row.arf_mbps / max(row.best_fixed_mbps, 1e-9)]
+            for row in rows
+        ],
+        title="Extension - ARF dynamic rate switching vs fixed rates (Mbps)",
+    )

@@ -1,0 +1,164 @@
+"""Experiment registry: name -> runner producing printable output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.four_nodes import (
+    format_four_node,
+    run_figure7,
+    run_figure9,
+    run_figure11,
+    run_figure12,
+)
+from repro.experiments.ranges import (
+    format_loss_curves,
+    format_table3,
+    run_figure3,
+    run_figure4,
+    run_table3,
+)
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.two_nodes import format_figure2, run_figure2
+from repro.experiments.delay import format_delay_sweep, run_delay_sweep
+from repro.experiments.mobility import format_link_lifetimes, run_link_lifetimes
+from repro.experiments.ratecontrol import format_arf_sweep, run_arf_sweep
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A runnable, printable experiment."""
+
+    name: str
+    description: str
+    run: Callable[..., str]
+
+
+def _table2(**kwargs) -> str:
+    return format_table2(run_table2())
+
+
+def _figure2(duration_s: float = 3.0, seed: int = 1, **kwargs) -> str:
+    return format_figure2(run_figure2(duration_s=duration_s, seed=seed))
+
+
+def _figure3(probes: int = 200, seed: int = 1, **kwargs) -> str:
+    return format_loss_curves(
+        run_figure3(probes=probes, seed=seed), "Figure 3 - loss vs distance"
+    )
+
+
+def _figure4(probes: int = 200, seed: int = 1, **kwargs) -> str:
+    return format_loss_curves(
+        run_figure4(probes=probes, seed=seed),
+        "Figure 4 - 1 Mbps transmission range on two days",
+    )
+
+
+def _table3(probes: int = 200, seed: int = 1, **kwargs) -> str:
+    return format_table3(run_table3(probes=probes, seed=seed))
+
+
+def _figure7(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+    return format_four_node(
+        run_figure7(duration_s=duration_s, seed=seed),
+        "Figure 7 - four stations, 11 Mbps, asymmetric (25/80/25 m)",
+    )
+
+
+def _figure9(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+    return format_four_node(
+        run_figure9(duration_s=duration_s, seed=seed),
+        "Figure 9 - four stations, 2 Mbps, asymmetric (25/90/25 m)",
+    )
+
+
+def _figure11(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+    return format_four_node(
+        run_figure11(duration_s=duration_s, seed=seed),
+        "Figure 11 - four stations, 11 Mbps, symmetric (25/60/25 m)",
+    )
+
+
+def _figure12(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+    return format_four_node(
+        run_figure12(duration_s=duration_s, seed=seed),
+        "Figure 12 - four stations, 2 Mbps, symmetric (25/60/25 m)",
+    )
+
+
+def _arf(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+    return format_arf_sweep(
+        run_arf_sweep(duration_s=min(duration_s, 4.0), seed=seed)
+    )
+
+
+def _delay(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+    from repro.core.params import Rate
+
+    return format_delay_sweep(
+        run_delay_sweep(duration_s=min(duration_s, 5.0), seed=seed),
+        Rate.MBPS_11,
+    )
+
+
+def _link_lifetime(seed: int = 1, **kwargs) -> str:
+    return format_link_lifetimes(run_link_lifetimes(seed=seed))
+
+
+def _figure1(**kwargs) -> str:
+    from repro.experiments.diagrams import format_figure1
+
+    return format_figure1(512)
+
+
+def _scenarios(**kwargs) -> str:
+    from repro.channel.placement import (
+        figure6_placement,
+        figure8_placement,
+        figure10_placement,
+    )
+    from repro.experiments.diagrams import format_scenario
+
+    sections = [
+        format_scenario(figure6_placement()),
+        format_scenario(figure8_placement()),
+        format_scenario(figure10_placement(), sessions=((0, 1), (3, 2))),
+    ]
+    return "\n\n".join(sections)
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    experiment.name: experiment
+    for experiment in (
+        Experiment("table2", "Max throughput model vs the paper's Table 2", _table2),
+        Experiment("figure2", "Ideal vs measured TCP/UDP throughput", _figure2),
+        Experiment("figure3", "Packet loss vs distance per rate", _figure3),
+        Experiment("figure4", "1 Mbps range on two different days", _figure4),
+        Experiment("table3", "Transmission range estimates", _table3),
+        Experiment("figure7", "Four stations, 11 Mbps, asymmetric", _figure7),
+        Experiment("figure9", "Four stations, 2 Mbps, asymmetric", _figure9),
+        Experiment("figure11", "Four stations, 11 Mbps, symmetric", _figure11),
+        Experiment("figure12", "Four stations, 2 Mbps, symmetric", _figure12),
+        Experiment("figure1", "Encapsulation overhead diagram", _figure1),
+        Experiment("scenarios", "Topology diagrams (Figures 5/6/8/10)", _scenarios),
+        Experiment("arf", "Extension: ARF rate switching vs fixed rates", _arf),
+        Experiment("delay", "Extension: one-way delay vs offered load", _delay),
+        Experiment(
+            "link-lifetime",
+            "Extension: mobile link lifetime, calibrated vs ns-2 ranges",
+            _link_lifetime,
+        ),
+    )
+}
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up an experiment; raises with the list of valid names."""
+    if name not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; valid: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[name]

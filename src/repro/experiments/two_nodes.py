@@ -1,0 +1,108 @@
+"""Experiment ``figure2``: ideal vs measured TCP/UDP throughput.
+
+Two stations well inside transmission range, a saturated source, and the
+analytic bound of Equation (1)/(2) next to the simulated application
+throughput — with and without RTS/CTS, for UDP (CBR) and TCP (ftp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.apps.bulk import BulkTcpReceiver, BulkTcpSender
+from repro.apps.cbr import CbrSource
+from repro.apps.sink import UdpSink
+from repro.core.params import Rate
+from repro.core.throughput_model import ThroughputModel
+from repro.experiments.common import build_network
+
+#: Port both workloads use at the receiver.
+_PORT = 5001
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """One bar pair of Figure 2."""
+
+    rate: Rate
+    transport: str  # "udp" or "tcp"
+    rts_cts: bool
+    ideal_mbps: float
+    measured_mbps: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / ideal."""
+        if self.ideal_mbps == 0:
+            return 0.0
+        return self.measured_mbps / self.ideal_mbps
+
+
+def _run_udp(rate, rts_cts, payload_bytes, duration_s, warmup_s, seed) -> float:
+    net = build_network(
+        [0, 10], data_rate=rate, rts_enabled=rts_cts, seed=seed, fast_sigma_db=0.0
+    )
+    sink = UdpSink(net[1], port=_PORT, warmup_s=warmup_s)
+    CbrSource(net[0], dst=2, dst_port=_PORT, payload_bytes=payload_bytes)
+    net.run(duration_s)
+    return sink.throughput_bps(duration_s) / 1e6
+
+
+def _run_tcp(rate, rts_cts, duration_s, warmup_s, seed) -> float:
+    net = build_network(
+        [0, 10], data_rate=rate, rts_enabled=rts_cts, seed=seed, fast_sigma_db=0.0
+    )
+    receiver = BulkTcpReceiver(net[1], port=_PORT, warmup_s=warmup_s)
+    BulkTcpSender(net[0], dst=2, dst_port=_PORT)
+    net.run(duration_s)
+    return receiver.throughput_bps(duration_s) / 1e6
+
+
+def run_figure2(
+    rate: Rate = Rate.MBPS_11,
+    payload_bytes: int = 512,
+    duration_s: float = 3.0,
+    warmup_s: float = 0.3,
+    seed: int = 1,
+) -> list[Figure2Result]:
+    """All four panels of Figure 2 for one rate."""
+    model = ThroughputModel()
+    results = []
+    for transport in ("udp", "tcp"):
+        for rts_cts in (False, True):
+            ideal = model.max_throughput_bps(payload_bytes, rate, rts_cts) / 1e6
+            if transport == "udp":
+                measured = _run_udp(
+                    rate, rts_cts, payload_bytes, duration_s, warmup_s, seed
+                )
+            else:
+                measured = _run_tcp(rate, rts_cts, duration_s, warmup_s, seed)
+            results.append(
+                Figure2Result(
+                    rate=rate,
+                    transport=transport,
+                    rts_cts=rts_cts,
+                    ideal_mbps=ideal,
+                    measured_mbps=measured,
+                )
+            )
+    return results
+
+
+def format_figure2(results: list[Figure2Result]) -> str:
+    """Paper-style ideal-vs-real rendering."""
+    return render_table(
+        ["transport", "RTS/CTS", "ideal (Mbps)", "measured (Mbps)", "measured/ideal"],
+        [
+            (
+                r.transport.upper(),
+                "yes" if r.rts_cts else "no",
+                r.ideal_mbps,
+                r.measured_mbps,
+                r.ratio,
+            )
+            for r in results
+        ],
+        title=f"Figure 2 - theoretical vs actual throughput at {results[0].rate}",
+    )

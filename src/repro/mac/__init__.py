@@ -1,0 +1,40 @@
+"""IEEE 802.11 DCF medium access control.
+
+* :mod:`repro.mac.frames` — MAC frame objects (DATA / ACK / RTS / CTS)
+  with their NAV duration fields.
+* :mod:`repro.mac.nav` — the network allocation vector (virtual carrier
+  sense), including the RTS NAV-reset rule.
+* :mod:`repro.mac.backoff` — contention-window management and the
+  slotted backoff countdown bookkeeping.
+* :mod:`repro.mac.dcf` — the DCF station state machine: CSMA/CA with
+  binary exponential backoff, DIFS/SIFS/EIFS spacing, optional RTS/CTS,
+  retries and duplicate filtering.
+"""
+
+from repro.mac.frames import (
+    BROADCAST,
+    AckFrame,
+    CtsFrame,
+    DataFrame,
+    MacFrame,
+    RtsFrame,
+)
+from repro.mac.nav import Nav
+from repro.mac.backoff import Backoff, ContentionWindow
+from repro.mac.dcf import AckPolicy, MacConfig, MacCounters, MacStation
+
+__all__ = [
+    "AckFrame",
+    "AckPolicy",
+    "BROADCAST",
+    "Backoff",
+    "ContentionWindow",
+    "CtsFrame",
+    "DataFrame",
+    "MacConfig",
+    "MacCounters",
+    "MacFrame",
+    "MacStation",
+    "Nav",
+    "RtsFrame",
+]

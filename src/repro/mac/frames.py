@@ -1,0 +1,69 @@
+"""MAC frame objects.
+
+Frames carry the NAV ``duration_us`` field exactly as the standard
+defines it: the time the medium will remain reserved *after* this frame
+ends.  Third-party stations that decode any frame feed that field into
+their NAV (virtual carrier sense).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Broadcast destination address.
+BROADCAST = -1
+
+
+@dataclass(frozen=True)
+class MacFrame:
+    """Common fields of every MAC frame."""
+
+    src: int
+    dst: int
+    duration_us: float = 0.0
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True when addressed to every station."""
+        return self.dst == BROADCAST
+
+
+@dataclass(frozen=True)
+class DataFrame(MacFrame):
+    """A MAC data frame carrying one MSDU (or one fragment of it).
+
+    For fragmented MSDUs, ``frag`` numbers the fragment and
+    ``more_fragments`` marks all but the last; the reassembled ``msdu``
+    object rides on the final fragment only.
+    """
+
+    seq: int = 0
+    msdu: Any = None
+    msdu_bytes: int = 0
+    retry: bool = False
+    frag: int = 0
+    more_fragments: bool = False
+
+    def key(self) -> tuple[int, int, int]:
+        """Duplicate-detection key (transmitter, sequence, fragment)."""
+        return (self.src, self.seq, self.frag)
+
+
+@dataclass(frozen=True)
+class AckFrame(MacFrame):
+    """Acknowledgement; ``dst`` is the station being acknowledged."""
+
+
+@dataclass(frozen=True)
+class RtsFrame(MacFrame):
+    """Request-to-send; duration covers CTS + DATA + ACK + 3 SIFS."""
+
+    #: MSDU size of the data frame this RTS protects (lets the responder
+    #: and the model compute the remaining reservation).
+    msdu_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class CtsFrame(MacFrame):
+    """Clear-to-send; duration covers DATA + ACK + 2 SIFS."""

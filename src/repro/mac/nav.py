@@ -1,0 +1,57 @@
+"""The network allocation vector (virtual carrier sense).
+
+The NAV holds the latest time until which the medium is known to be
+reserved by other stations' frames.  It only ever moves forward when
+updated by a frame (the standard forbids shortening it), except for the
+explicit RTS NAV-reset rule, which the DCF station drives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+
+
+class Nav:
+    """Reservation clock driven by overheard duration fields."""
+
+    def __init__(self, sim: Simulator, on_expire: Callable[[], None]):
+        self._sim = sim
+        self._until_ns = 0
+        self._timer = Timer(sim, self._expired, name="nav")
+        self._on_expire = on_expire
+
+    @property
+    def until_ns(self) -> int:
+        """Absolute time the current reservation ends."""
+        return self._until_ns
+
+    @property
+    def busy(self) -> bool:
+        """True while the medium is virtually reserved."""
+        return self._until_ns > self._sim.now_ns
+
+    def update(self, until_ns: int) -> bool:
+        """Extend the NAV to ``until_ns`` if that is later.
+
+        Returns True when the NAV actually moved (the caller may want to
+        remember which frame set it, for the RTS reset rule).
+        """
+        if until_ns <= self._until_ns or until_ns <= self._sim.now_ns:
+            return False
+        self._until_ns = until_ns
+        self._timer.start(until_ns - self._sim.now_ns)
+        return True
+
+    def reset(self) -> None:
+        """Clear the reservation immediately (RTS NAV-reset rule)."""
+        was_busy = self.busy
+        self._until_ns = self._sim.now_ns
+        self._timer.cancel()
+        if was_busy:
+            self._on_expire()
+
+    def _expired(self) -> None:
+        self._on_expire()

@@ -1,0 +1,122 @@
+"""Transmission rate control.
+
+Paper §2: "802.11b cards may implement a dynamic rate switching with the
+objective of improving performance."  This module provides that
+mechanism: a per-destination :class:`RateController` consulted for every
+data transmission attempt and fed the attempt's outcome.
+
+:class:`FixedRate` pins the NIC rate (how the paper ran its
+experiments); :class:`ArfRateController` is Auto Rate Fallback as
+introduced for WaveLAN-II (Kamerman & Monteban, 1997): step up after a
+run of consecutive successes, step down after consecutive failures, and
+fall straight back if the first attempt after an upgrade fails (the
+probation rule).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.params import ALL_RATES, Rate
+from repro.errors import ConfigurationError
+
+
+class RateController(abc.ABC):
+    """Chooses the data rate for each transmission attempt."""
+
+    @abc.abstractmethod
+    def data_rate(self, dst: int) -> Rate:
+        """Rate to use for the next attempt towards ``dst``."""
+
+    def on_success(self, dst: int) -> None:
+        """The exchange towards ``dst`` completed (ACK received)."""
+
+    def on_failure(self, dst: int) -> None:
+        """An attempt towards ``dst`` failed (CTS/ACK timeout)."""
+
+
+class FixedRate(RateController):
+    """The preset-NIC-rate mode the paper measures."""
+
+    def __init__(self, rate: Rate):
+        self._rate = rate
+
+    def data_rate(self, dst: int) -> Rate:
+        return self._rate
+
+
+@dataclass(frozen=True)
+class ArfConfig:
+    """ARF tunables (defaults are the classic WaveLAN-II values)."""
+
+    success_threshold: int = 10
+    failure_threshold: int = 2
+    initial_rate: Rate = Rate.MBPS_2
+
+    def __post_init__(self) -> None:
+        if self.success_threshold < 1 or self.failure_threshold < 1:
+            raise ConfigurationError("ARF thresholds must be >= 1")
+
+
+class _ArfState:
+    """Per-destination ARF bookkeeping."""
+
+    __slots__ = ("rate_index", "successes", "failures", "probation")
+
+    def __init__(self, rate_index: int):
+        self.rate_index = rate_index
+        self.successes = 0
+        self.failures = 0
+        self.probation = False
+
+
+class ArfRateController(RateController):
+    """Auto Rate Fallback over the 802.11b rate ladder."""
+
+    def __init__(self, config: ArfConfig | None = None):
+        self._config = config if config is not None else ArfConfig()
+        self._ladder = list(ALL_RATES)
+        self._states: dict[int, _ArfState] = {}
+        self.upgrades = 0
+        self.downgrades = 0
+
+    def _state(self, dst: int) -> _ArfState:
+        if dst not in self._states:
+            self._states[dst] = _ArfState(
+                self._ladder.index(self._config.initial_rate)
+            )
+        return self._states[dst]
+
+    def data_rate(self, dst: int) -> Rate:
+        return self._ladder[self._state(dst).rate_index]
+
+    def on_success(self, dst: int) -> None:
+        state = self._state(dst)
+        state.failures = 0
+        state.probation = False
+        state.successes += 1
+        if (
+            state.successes >= self._config.success_threshold
+            and state.rate_index < len(self._ladder) - 1
+        ):
+            state.rate_index += 1
+            state.successes = 0
+            state.probation = True  # first failure up here drops us back
+            self.upgrades += 1
+
+    def on_failure(self, dst: int) -> None:
+        state = self._state(dst)
+        state.successes = 0
+        state.failures += 1
+        must_drop = state.probation or (
+            state.failures >= self._config.failure_threshold
+        )
+        if must_drop and state.rate_index > 0:
+            state.rate_index -= 1
+            state.failures = 0
+            state.probation = False
+            self.downgrades += 1
+        elif must_drop:
+            state.failures = 0
+            state.probation = False

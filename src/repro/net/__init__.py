@@ -1,0 +1,22 @@
+"""Network layer: addressing, IP-like encapsulation, routing, nodes.
+
+A :class:`~repro.net.node.Node` is the full per-station stack the
+experiments use: applications talk to UDP/TCP sockets, which hand
+segments to the IP layer, which resolves a next hop and queues MSDUs on
+the DCF MAC, which drives the PHY on the shared medium.
+"""
+
+from repro.net.packet import Datagram, PROTO_TCP, PROTO_UDP
+from repro.net.routing import StaticRouting
+from repro.net.ip import IpLayer
+from repro.net.node import Node, NodeStackConfig
+
+__all__ = [
+    "Datagram",
+    "IpLayer",
+    "Node",
+    "NodeStackConfig",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "StaticRouting",
+]

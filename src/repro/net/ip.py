@@ -1,0 +1,80 @@
+"""The IP-like layer: encapsulation, forwarding, protocol dispatch."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.encapsulation import IP_HEADER_BYTES
+from repro.errors import ConfigurationError
+from repro.mac.dcf import MacStation
+from repro.net.packet import Datagram
+from repro.net.routing import StaticRouting
+
+ProtocolHandler = Callable[[Any, int], None]  # (segment, src_address)
+
+
+class IpLayer:
+    """One node's network layer on top of its MAC."""
+
+    def __init__(self, mac: MacStation, routing: StaticRouting | None = None):
+        self._mac = mac
+        self._address = mac.address
+        self._routing = routing if routing is not None else StaticRouting(mac.address)
+        self._handlers: dict[str, ProtocolHandler] = {}
+        self.datagrams_sent = 0
+        self.datagrams_forwarded = 0
+        self.datagrams_delivered = 0
+        self.send_failures = 0
+        mac.set_receive_callback(self._on_mac_receive)
+
+    @property
+    def address(self) -> int:
+        """This node's address."""
+        return self._address
+
+    @property
+    def routing(self) -> StaticRouting:
+        """The routing table."""
+        return self._routing
+
+    def register_protocol(self, protocol: str, handler: ProtocolHandler) -> None:
+        """Attach a transport: ``handler(segment, src)`` on delivery."""
+        if protocol in self._handlers:
+            raise ConfigurationError(f"protocol {protocol!r} already registered")
+        self._handlers[protocol] = handler
+
+    def send(self, segment: Any, segment_bytes: int, dst: int, protocol: str) -> bool:
+        """Encapsulate a transport segment and queue it on the MAC.
+
+        Returns False if the MAC queue rejected the frame (tail drop).
+        """
+        datagram = Datagram(
+            src=self._address,
+            dst=dst,
+            protocol=protocol,
+            segment=segment,
+            size_bytes=segment_bytes + IP_HEADER_BYTES,
+        )
+        accepted = self._transmit(datagram)
+        if accepted:
+            self.datagrams_sent += 1
+        else:
+            self.send_failures += 1
+        return accepted
+
+    def _transmit(self, datagram: Datagram) -> bool:
+        next_hop = self._routing.next_hop(datagram.dst)
+        return self._mac.enqueue(datagram, next_hop, datagram.size_bytes)
+
+    def _on_mac_receive(self, msdu: Any, mac_src: int) -> None:
+        if not isinstance(msdu, Datagram):
+            return
+        if msdu.dst == self._address:
+            self.datagrams_delivered += 1
+            handler = self._handlers.get(msdu.protocol)
+            if handler is not None:
+                handler(msdu.segment, msdu.src)
+            return
+        # Not for us: forward if we know a way (multi-hop extension).
+        self.datagrams_forwarded += 1
+        self._transmit(msdu)

@@ -1,0 +1,40 @@
+"""IP datagrams as the MAC sees them.
+
+Addresses are small integers; a node's IP address equals its MAC address
+(the experiments configure a flat single-subnet ad hoc network, like the
+paper's test-bed).  Sizes are tracked explicitly because every byte of
+header becomes airtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.encapsulation import IP_HEADER_BYTES, TransportProtocol
+from repro.errors import ConfigurationError
+
+#: Protocol tags carried in the IP header.
+PROTO_UDP = TransportProtocol.UDP.value
+PROTO_TCP = TransportProtocol.TCP.value
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One IP datagram: transport segment + addressing + total size."""
+
+    src: int
+    dst: int
+    protocol: str
+    segment: Any
+    #: Full datagram size (transport segment + IP header), in bytes;
+    #: this is the MSDU size the MAC transmits.
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < IP_HEADER_BYTES:
+            raise ConfigurationError(
+                f"datagram of {self.size_bytes} B is smaller than an IP header"
+            )
+        if self.protocol not in (PROTO_UDP, PROTO_TCP):
+            raise ConfigurationError(f"unknown protocol {self.protocol!r}")

@@ -1,0 +1,33 @@
+"""Static routing.
+
+The paper's test-bed is a static single-hop ad hoc network, so the
+default route to any destination is the destination itself.  Explicit
+next-hop entries enable the simple multi-hop extension (DESIGN.md §8):
+intermediate nodes forward datagrams hop by hop.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class StaticRouting:
+    """A per-node next-hop table with direct delivery as the default."""
+
+    def __init__(self, own_address: int):
+        self._own = own_address
+        self._next_hop: dict[int, int] = {}
+
+    def add_route(self, dst: int, next_hop: int) -> None:
+        """Route traffic for ``dst`` via ``next_hop``."""
+        if dst == self._own:
+            raise ConfigurationError("cannot add a route to the node itself")
+        self._next_hop[dst] = next_hop
+
+    def next_hop(self, dst: int) -> int:
+        """The neighbour to hand a datagram for ``dst`` to."""
+        return self._next_hop.get(dst, dst)
+
+    def routes(self) -> dict[int, int]:
+        """A copy of the explicit entries."""
+        return dict(self._next_hop)

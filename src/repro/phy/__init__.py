@@ -1,0 +1,40 @@
+"""IEEE 802.11b physical layer.
+
+* :mod:`repro.phy.radio` — radio front-end parameters (transmit power,
+  per-rate sensitivities, carrier-sense threshold), with presets
+  calibrated to the paper's Table 3 and to ns-2's classic defaults.
+* :mod:`repro.phy.plans` — transmission plans: the per-field (PLCP / MAC
+  header / payload) rate-and-duration schedule of a frame.
+* :mod:`repro.phy.ber` — bit-error-rate models per modulation.
+* :mod:`repro.phy.reception` — frame reception models (SINR threshold or
+  BER integration over interference segments).
+* :mod:`repro.phy.transceiver` — the half-duplex PHY state machine that
+  connects the MAC to the medium.
+"""
+
+from repro.phy.radio import RadioParameters
+from repro.phy.plans import Segment, TransmissionPlan, control_frame_plan, data_frame_plan
+from repro.phy.reception import (
+    BerReception,
+    ReceptionContext,
+    ReceptionModel,
+    ReceptionOutcome,
+    SinrThresholdReception,
+)
+from repro.phy.transceiver import PhyListener, PhyState, Transceiver
+
+__all__ = [
+    "BerReception",
+    "PhyListener",
+    "PhyState",
+    "RadioParameters",
+    "ReceptionContext",
+    "ReceptionModel",
+    "ReceptionOutcome",
+    "Segment",
+    "SinrThresholdReception",
+    "TransmissionPlan",
+    "Transceiver",
+    "control_frame_plan",
+    "data_frame_plan",
+]

@@ -1,0 +1,119 @@
+"""Transmission plans: the rate-and-duration schedule of a frame.
+
+An 802.11b frame is not transmitted at one rate: the PLCP preamble and
+header go at the PLCP rates, the MAC header at the header rate and the
+payload at the data rate (paper §2 and §3.1).  A :class:`TransmissionPlan`
+captures that schedule; the transceiver uses it both to time the signal
+and to evaluate reception field by field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.airtime import AirtimeCalculator
+from repro.core.params import Rate
+from repro.errors import ConfigurationError
+from repro.units import us_to_ns
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One constant-rate field of a frame."""
+
+    name: str
+    bits: int
+    rate: Rate
+    duration_ns: int
+
+
+@dataclass(frozen=True)
+class TransmissionPlan:
+    """The full field schedule of one frame on the air."""
+
+    segments: tuple[Segment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ConfigurationError("a transmission plan needs >= 1 segment")
+
+    @property
+    def duration_ns(self) -> int:
+        """Total airtime."""
+        return sum(segment.duration_ns for segment in self.segments)
+
+    @property
+    def preamble_end_ns(self) -> int:
+        """Offset at which the PLCP (first segment) ends."""
+        return self.segments[0].duration_ns
+
+    @property
+    def data_rate(self) -> Rate:
+        """Rate of the last (payload) segment."""
+        return self.segments[-1].rate
+
+    def segment_offsets_ns(self) -> list[tuple[int, int, Segment]]:
+        """(start, end, segment) offsets relative to frame start."""
+        offsets = []
+        position = 0
+        for segment in self.segments:
+            offsets.append((position, position + segment.duration_ns, segment))
+            position += segment.duration_ns
+        return offsets
+
+
+def _plcp_segment(airtime: AirtimeCalculator) -> Segment:
+    plcp = airtime.config.plcp
+    return Segment(
+        name="plcp",
+        bits=plcp.preamble_bits + plcp.header_bits,
+        # The PLCP is decoded at its preamble rate (1 Mbps for both formats).
+        rate=plcp.preamble_rate,
+        duration_ns=us_to_ns(plcp.duration_us),
+    )
+
+
+def data_frame_plan(
+    msdu_bytes: int, data_rate: Rate, airtime: AirtimeCalculator
+) -> TransmissionPlan:
+    """Plan for a MAC data frame carrying an ``msdu_bytes`` payload."""
+    breakdown = airtime.data_frame(msdu_bytes, data_rate)
+    header_rate = airtime.config.header_rate_policy.header_rate(data_rate)
+    return TransmissionPlan(
+        segments=(
+            _plcp_segment(airtime),
+            Segment(
+                name="mac-header",
+                bits=airtime.config.mac.mac_header_bits,
+                rate=header_rate,
+                duration_ns=us_to_ns(breakdown.header_us),
+            ),
+            Segment(
+                name="payload",
+                bits=msdu_bytes * 8,
+                rate=data_rate,
+                duration_ns=us_to_ns(breakdown.payload_us),
+            ),
+        )
+    )
+
+
+def control_frame_plan(
+    name: str, body_bits: int, airtime: AirtimeCalculator, rate: Rate | None = None
+) -> TransmissionPlan:
+    """Plan for a control frame (RTS/CTS/ACK) at the control rate."""
+    if rate is None:
+        rate = airtime.config.control_rate
+    if body_bits <= 0:
+        raise ConfigurationError(f"control body must be > 0 bits, got {body_bits}")
+    return TransmissionPlan(
+        segments=(
+            _plcp_segment(airtime),
+            Segment(
+                name=name,
+                bits=body_bits,
+                rate=rate,
+                duration_ns=us_to_ns(body_bits / rate.mbps),
+            ),
+        )
+    )

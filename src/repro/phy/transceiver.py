@@ -1,0 +1,275 @@
+"""The half-duplex PHY state machine.
+
+The transceiver sits between the MAC and the medium.  It tracks every
+signal currently audible, maintains the physical carrier-sense state
+(energy above threshold, or locked on a frame, or transmitting), locks on
+preambles, records interference during receptions and hands completed
+frames — or reception errors — to its listener (the MAC).
+
+Carrier sensing deliberately includes the "locked on a PLCP" condition:
+a station can follow a frame whose *energy* alone would not trip the
+energy-detect threshold, which is one of the couplings the paper observes
+beyond the transmission range.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.channel.medium import Medium, Signal
+from repro.channel.shadowing import Position
+from repro.errors import MacError
+from repro.phy.plans import TransmissionPlan
+from repro.phy.radio import RadioParameters
+from repro.phy.reception import (
+    ReceptionContext,
+    ReceptionModel,
+    ReceptionOutcome,
+    SinrThresholdReception,
+)
+from repro.sim.engine import Simulator
+from repro.sim.tracing import Tracer
+from repro.units import dbm_to_mw, linear_to_db
+
+
+class PhyState(Enum):
+    """Transceiver macro-state."""
+
+    IDLE = "idle"
+    RX = "rx"
+    TX = "tx"
+
+
+@dataclass(frozen=True)
+class PhyFrame:
+    """What actually rides on a medium signal: MAC frame + field plan."""
+
+    mac_frame: Any
+    plan: TransmissionPlan
+
+
+class PhyListener:
+    """MAC-side callbacks; subclass and override what you need."""
+
+    def on_cs_busy(self) -> None:
+        """Physical carrier sense went busy."""
+
+    def on_cs_idle(self) -> None:
+        """Physical carrier sense went idle."""
+
+    def on_rx_start(self) -> None:
+        """The PHY locked onto a preamble."""
+
+    def on_rx_end(self, mac_frame: Any | None, outcome: ReceptionOutcome) -> None:
+        """A locked frame ended; ``mac_frame`` is None unless decoded."""
+
+    def on_tx_end(self) -> None:
+        """Our own transmission completed."""
+
+
+class Transceiver:
+    """One station's radio."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        radio: RadioParameters,
+        name: str = "phy",
+        position_m: Position = (0.0, 0.0),
+        reception: ReceptionModel | None = None,
+        rng: random.Random | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self._sim = sim
+        self._medium = medium
+        self._radio = radio
+        self.name = name
+        self.position_m = position_m
+        self._reception = reception if reception is not None else SinrThresholdReception()
+        self._rng = rng if rng is not None else random.Random(0)
+        self._tracer = tracer if tracer is not None else Tracer()
+        self._listener = PhyListener()
+        self._state = PhyState.IDLE
+        self._signals: dict[int, float] = {}  # signal_id -> rx power, mW
+        self._locked_signal: Signal | None = None
+        self._locked_power_dbm = 0.0
+        self._locked_start_ns = 0
+        self._interference_log: list[tuple[int, float]] = []
+        self._cs_busy = False
+        self._noise_mw = dbm_to_mw(radio.noise_floor_dbm)
+        self._cs_threshold_mw = dbm_to_mw(radio.cs_threshold_dbm)
+        medium.attach(self)
+
+    # ------------------------------------------------------------- wiring
+
+    def set_listener(self, listener: PhyListener) -> None:
+        """Attach the MAC (or a test probe)."""
+        self._listener = listener
+
+    @property
+    def radio(self) -> RadioParameters:
+        """The radio parameters in force."""
+        return self._radio
+
+    @property
+    def state(self) -> PhyState:
+        """Current macro-state."""
+        return self._state
+
+    @property
+    def cs_busy(self) -> bool:
+        """Physical carrier sense: energy detect or own transmission.
+
+        Deliberately energy-based (CCA mode 1): a weak frame beyond the
+        energy-detect range can still be *received* (the PLCP travels at
+        1 Mbps) without making the medium look busy, matching the
+        measured behaviour the calibration targets (DESIGN.md §2).
+        """
+        return self._cs_busy
+
+    @property
+    def total_power_mw(self) -> float:
+        """Summed received power of all audible signals."""
+        return sum(self._signals.values())
+
+    # --------------------------------------------------------------- MAC
+
+    def transmit(self, plan: TransmissionPlan, mac_frame: Any) -> int:
+        """Put a frame on the air; returns its duration in ns.
+
+        Transmitting while already transmitting is a MAC bug.  A
+        transmission that starts while a reception is in progress aborts
+        the reception (half-duplex radio).
+        """
+        if self._state is PhyState.TX:
+            raise MacError(f"{self.name}: transmit while already transmitting")
+        if self._state is PhyState.RX:
+            self._abort_reception()
+        self._state = PhyState.TX
+        signal = self._medium.transmit(
+            self, PhyFrame(mac_frame, plan), plan.duration_ns, self._radio.tx_power_dbm
+        )
+        self._trace("tx_start", frame=type(mac_frame).__name__, dur_ns=signal.duration_ns)
+        self._sim.schedule(plan.duration_ns, self._finish_tx)
+        self._update_cs()
+        return plan.duration_ns
+
+    def _finish_tx(self) -> None:
+        self._state = PhyState.IDLE
+        self._trace("tx_end")
+        self._update_cs()
+        self._listener.on_tx_end()
+
+    # ------------------------------------------------------------ medium
+
+    def on_signal_start(self, signal: Signal, rx_power_dbm: float) -> None:
+        """Medium callback: a signal's energy reaches us."""
+        self._signals[signal.signal_id] = dbm_to_mw(rx_power_dbm)
+        if self._state is PhyState.RX:
+            self._note_interference_change()
+            self._maybe_capture(signal, rx_power_dbm)
+        elif self._state is PhyState.IDLE:
+            self._maybe_lock(signal, rx_power_dbm)
+        self._update_cs()
+
+    def on_signal_end(self, signal: Signal) -> None:
+        """Medium callback: a signal fades out at our position."""
+        self._signals.pop(signal.signal_id, None)
+        if self._locked_signal is signal:
+            self._finish_reception(signal)
+        elif self._state is PhyState.RX:
+            self._note_interference_change()
+        self._update_cs()
+
+    # --------------------------------------------------------- internals
+
+    def _other_power_mw(self) -> float:
+        total = self.total_power_mw
+        if self._locked_signal is not None:
+            total -= self._signals.get(self._locked_signal.signal_id, 0.0)
+        return max(total, 0.0)
+
+    def _maybe_lock(self, signal: Signal, rx_power_dbm: float) -> None:
+        if rx_power_dbm < self._radio.preamble_lock_dbm:
+            return
+        interference_mw = self.total_power_mw - self._signals[signal.signal_id]
+        sinr = dbm_to_mw(rx_power_dbm) / (self._noise_mw + interference_mw)
+        plcp_rate = signal.frame.plan.segments[0].rate
+        if linear_to_db(sinr) < self._radio.sinr_threshold_db[plcp_rate]:
+            return
+        self._state = PhyState.RX
+        self._locked_signal = signal
+        self._locked_power_dbm = rx_power_dbm
+        self._locked_start_ns = self._sim.now_ns
+        self._interference_log = [(0, interference_mw)]
+        self._trace("rx_lock", signal=signal.signal_id, rx_dbm=round(rx_power_dbm, 1))
+        self._listener.on_rx_start()
+
+    def _maybe_capture(self, signal: Signal, rx_power_dbm: float) -> None:
+        if not self._radio.capture_enabled or self._locked_signal is None:
+            return
+        in_preamble = (
+            self._sim.now_ns - self._locked_start_ns
+            <= self._locked_signal.frame.plan.preamble_end_ns
+        )
+        if not in_preamble:
+            return
+        if rx_power_dbm >= self._locked_power_dbm + self._radio.capture_margin_db:
+            self._trace(
+                "capture",
+                old=self._locked_signal.signal_id,
+                new=signal.signal_id,
+            )
+            # The previously locked frame degrades into interference.
+            self._locked_signal = None
+            self._state = PhyState.IDLE
+            self._maybe_lock(signal, rx_power_dbm)
+
+    def _note_interference_change(self) -> None:
+        offset = self._sim.now_ns - self._locked_start_ns
+        self._interference_log.append((offset, self._other_power_mw()))
+
+    def _finish_reception(self, signal: Signal) -> None:
+        phy_frame: PhyFrame = signal.frame
+        context = ReceptionContext(
+            plan=phy_frame.plan,
+            rx_power_dbm=self._locked_power_dbm,
+            noise_mw=self._noise_mw,
+            interference_timeline=tuple(self._interference_log),
+        )
+        outcome = self._reception.evaluate(context, self._radio, self._rng)
+        self._locked_signal = None
+        self._interference_log = []
+        self._state = PhyState.IDLE
+        self._trace("rx_end", signal=signal.signal_id, outcome=outcome.value)
+        mac_frame = phy_frame.mac_frame if outcome.success else None
+        self._listener.on_rx_end(mac_frame, outcome)
+
+    def _abort_reception(self) -> None:
+        signal = self._locked_signal
+        self._locked_signal = None
+        self._interference_log = []
+        self._state = PhyState.IDLE
+        if signal is not None:
+            self._trace("rx_abort", signal=signal.signal_id)
+            self._listener.on_rx_end(None, ReceptionOutcome.ABORTED)
+
+    def _update_cs(self) -> None:
+        busy = (
+            self._state is PhyState.TX
+            or self.total_power_mw >= self._cs_threshold_mw
+        )
+        if busy == self._cs_busy:
+            return
+        self._cs_busy = busy
+        if busy:
+            self._listener.on_cs_busy()
+        else:
+            self._listener.on_cs_idle()
+
+    def _trace(self, event: str, **fields: Any) -> None:
+        self._tracer.emit(self._sim.now_ns, f"phy.{self.name}", event, **fields)

@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic event-driven kernel: integer-nanosecond clock, a
+binary-heap event queue with stable FIFO ordering for simultaneous events,
+cancellable handles, restartable timers, named reproducible random streams
+and a structured tracing facility.
+"""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.rng import RngManager
+from repro.sim.timers import Timer
+from repro.sim.tracing import TraceRecord, Tracer
+
+__all__ = [
+    "EventHandle",
+    "RngManager",
+    "Simulator",
+    "Timer",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,173 @@
+"""The discrete-event simulator core.
+
+Time is an integer number of nanoseconds.  Events scheduled for the same
+instant fire in scheduling order (a monotonically increasing sequence
+number breaks heap ties), which makes simulations bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SchedulingError
+from repro.units import ns_to_s, s_to_ns
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped when
+    popped, which keeps both operations O(log n) / O(1).
+    """
+
+    __slots__ = ("time_ns", "_callback", "_args", "_cancelled")
+
+    def __init__(self, time_ns: int, callback: Callable[..., None], args: tuple):
+        self.time_ns = time_ns
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._cancelled = True
+        self._callback = None
+        self._args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if not self._cancelled:
+            callback, args = self._callback, self._args
+            # Release references before invoking so an exception in the
+            # callback cannot keep the closure alive via this handle.
+            self._callback = None
+            self._args = ()
+            self._cancelled = True
+            callback(*args)
+
+
+class Simulator:
+    """Event heap + clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule_s(1.0, lambda: print("one second in"))
+        sim.run(until_s=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, EventHandle]] = []
+        self._now_ns = 0
+        self._sequence = 0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time in seconds."""
+        return ns_to_s(self._now_ns)
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired since construction."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return sum(1 for _, _, handle in self._heap if not handle.cancelled)
+
+    def schedule_at(
+        self, time_ns: int, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
+        if time_ns < self._now_ns:
+            raise SchedulingError(
+                f"cannot schedule at {time_ns} ns: clock is already at "
+                f"{self._now_ns} ns"
+            )
+        handle = EventHandle(time_ns, callback, args)
+        self._sequence += 1
+        heapq.heappush(self._heap, (time_ns, self._sequence, handle))
+        return handle
+
+    def schedule(
+        self, delay_ns: int, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay_ns`` nanoseconds."""
+        if delay_ns < 0:
+            raise SchedulingError(f"delay must be >= 0 ns, got {delay_ns}")
+        return self.schedule_at(self._now_ns + delay_ns, callback, *args)
+
+    def schedule_s(
+        self, delay_s: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay_s`` seconds."""
+        return self.schedule(s_to_ns(delay_s), callback, *args)
+
+    def run(
+        self,
+        until_ns: int | None = None,
+        until_s: float | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Process events in time order.
+
+        Stops when the queue drains, when the clock would pass the given
+        horizon (the clock is then advanced *to* the horizon), after
+        ``max_events`` events, or when :meth:`stop` is called from inside
+        an event.
+        """
+        if until_ns is not None and until_s is not None:
+            raise SchedulingError("pass only one of until_ns / until_s")
+        if until_s is not None:
+            until_ns = s_to_ns(until_s)
+        if until_ns is not None and until_ns < self._now_ns:
+            raise SchedulingError(
+                f"horizon {until_ns} ns is before current time {self._now_ns} ns"
+            )
+        self._stopped = False
+        self._running = True
+        fired = 0
+        try:
+            while self._heap and not self._stopped:
+                time_ns, _, handle = self._heap[0]
+                if until_ns is not None and time_ns > until_ns:
+                    break
+                heapq.heappop(self._heap)
+                if handle.cancelled:
+                    continue
+                self._now_ns = time_ns
+                handle._fire()
+                self._events_processed += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until_ns is not None and not self._stopped and (
+            max_events is None or fired < max_events
+        ):
+            self._now_ns = max(self._now_ns, until_ns)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is left untouched)."""
+        for _, _, handle in self._heap:
+            handle.cancel()
+        self._heap.clear()

@@ -1,0 +1,65 @@
+"""Restartable one-shot timers on top of the simulator.
+
+MAC protocols are full of "start a timeout, cancel it if the reply
+arrives, restart it on retransmission" logic; :class:`Timer` packages that
+pattern so state machines never touch raw event handles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.engine import EventHandle, Simulator
+
+
+class Timer:
+    """A named, restartable one-shot timer.
+
+    The callback is fixed at construction; each (re)start may carry
+    different arguments.  Starting a running timer implicitly cancels the
+    previous schedule.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[..., None], name: str = ""):
+        self._sim = sim
+        self._callback = callback
+        self._name = name
+        self._handle: EventHandle | None = None
+
+    @property
+    def name(self) -> str:
+        """Diagnostic name of the timer."""
+        return self._name
+
+    @property
+    def running(self) -> bool:
+        """True while a timeout is pending."""
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def expiry_ns(self) -> int | None:
+        """Absolute expiry time, or ``None`` if not running."""
+        if not self.running:
+            return None
+        return self._handle.time_ns
+
+    def start(self, delay_ns: int, *args: Any) -> None:
+        """(Re)arm the timer to fire after ``delay_ns`` nanoseconds."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay_ns, self._fire, *args)
+
+    def start_s(self, delay_s: float, *args: Any) -> None:
+        """(Re)arm the timer to fire after ``delay_s`` seconds."""
+        from repro.units import s_to_ns
+
+        self.start(s_to_ns(delay_s), *args)
+
+    def cancel(self) -> None:
+        """Disarm the timer.  Safe to call when not running."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self, *args: Any) -> None:
+        self._handle = None
+        self._callback(*args)

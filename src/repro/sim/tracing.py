@@ -1,0 +1,76 @@
+"""Structured tracing of simulation events.
+
+Components publish :class:`TraceRecord` objects ("mac.tx_start",
+"phy.rx_drop"...) to a :class:`Tracer`; analysis code subscribes either to
+everything or to a category prefix.  Tracing is off by default and costs a
+single predicate call per record when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+TraceSubscriber = Callable[["TraceRecord"], None]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time_ns: int
+    category: str
+    event: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kv = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time_ns / 1e9:.6f}s] {self.category}.{self.event} {kv}"
+
+
+class Tracer:
+    """Fan-out hub for trace records with per-prefix subscriptions."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[tuple[str, TraceSubscriber]] = []
+        self._counters: dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one subscriber is attached."""
+        return bool(self._subscribers)
+
+    def subscribe(self, callback: TraceSubscriber, prefix: str = "") -> None:
+        """Receive every record whose ``category.event`` starts with ``prefix``."""
+        self._subscribers.append((prefix, callback))
+
+    def unsubscribe(self, callback: TraceSubscriber) -> None:
+        """Detach a subscriber (all of its prefixes)."""
+        self._subscribers = [
+            (prefix, cb) for prefix, cb in self._subscribers if cb != callback
+        ]
+
+    def emit(
+        self, time_ns: int, category: str, event: str, **fields: Any
+    ) -> None:
+        """Publish one record; also bumps the ``category.event`` counter."""
+        key = f"{category}.{event}"
+        self._counters[key] = self._counters.get(key, 0) + 1
+        if not self._subscribers:
+            return
+        record = TraceRecord(time_ns, category, event, fields)
+        for prefix, callback in self._subscribers:
+            if key.startswith(prefix):
+                callback(record)
+
+    def count(self, key: str) -> int:
+        """How many records of ``category.event`` were emitted."""
+        return self._counters.get(key, 0)
+
+    def counters(self) -> dict[str, int]:
+        """A copy of all counters."""
+        return dict(self._counters)
+
+    def reset_counters(self) -> None:
+        """Zero every counter."""
+        self._counters.clear()

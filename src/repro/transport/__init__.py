@@ -1,0 +1,28 @@
+"""Transport protocols: UDP and TCP Reno.
+
+The paper's measurements use CBR-over-UDP and ftp-over-TCP; both are
+implemented here over the IP layer.  TCP is a Reno implementation with
+slow start, congestion avoidance, fast retransmit/recovery, Jacobson RTO
+estimation and delayed ACKs.
+"""
+
+from repro.transport.udp import UDP_HEADER_BYTES, UdpProtocol, UdpSegment, UdpSocket
+from repro.transport.tcp import (
+    TCP_HEADER_BYTES,
+    TcpConfig,
+    TcpConnection,
+    TcpProtocol,
+    TcpSegment,
+)
+
+__all__ = [
+    "TCP_HEADER_BYTES",
+    "TcpConfig",
+    "TcpConnection",
+    "TcpProtocol",
+    "TcpSegment",
+    "UDP_HEADER_BYTES",
+    "UdpProtocol",
+    "UdpSegment",
+    "UdpSocket",
+]

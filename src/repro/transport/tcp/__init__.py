@@ -1,0 +1,36 @@
+"""TCP Reno.
+
+The implementation is split into orthogonal, individually tested pieces:
+
+* :mod:`repro.transport.tcp.segment` — the wire format (header fields and
+  byte accounting only; payload contents are abstract).
+* :mod:`repro.transport.tcp.rto` — Jacobson/Karels RTO estimation with
+  exponential backoff.
+* :mod:`repro.transport.tcp.congestion` — Reno window logic: slow start,
+  congestion avoidance, fast retransmit / fast recovery.
+* :mod:`repro.transport.tcp.buffers` — send-buffer accounting and the
+  receive-side reassembly queue.
+* :mod:`repro.transport.tcp.connection` — the connection state machine.
+* :mod:`repro.transport.tcp.sockets` — the per-node protocol object:
+  listeners, connectors, demultiplexing.
+"""
+
+from repro.transport.tcp.segment import TCP_HEADER_BYTES, TcpSegment
+from repro.transport.tcp.rto import RtoEstimator
+from repro.transport.tcp.congestion import RenoCongestionControl
+from repro.transport.tcp.buffers import ReceiveReassembly, SendBuffer
+from repro.transport.tcp.connection import TcpConfig, TcpConnection, TcpState
+from repro.transport.tcp.sockets import TcpProtocol
+
+__all__ = [
+    "ReceiveReassembly",
+    "RenoCongestionControl",
+    "RtoEstimator",
+    "SendBuffer",
+    "TCP_HEADER_BYTES",
+    "TcpConfig",
+    "TcpConnection",
+    "TcpProtocol",
+    "TcpSegment",
+    "TcpState",
+]

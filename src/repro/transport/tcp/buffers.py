@@ -1,0 +1,120 @@
+"""Send-buffer accounting and receive-side reassembly.
+
+Payload contents are abstract (the simulation moves byte *counts*), so
+the send buffer is a pair of counters and the reassembly queue is an
+interval set over sequence space.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, TransportError
+
+
+class SendBuffer:
+    """Bytes the application has written but TCP has not yet acked."""
+
+    def __init__(self, limit_bytes: int = 1 << 22):
+        if limit_bytes <= 0:
+            raise ConfigurationError("send buffer limit must be > 0 bytes")
+        self._limit = limit_bytes
+        self._written_total = 0
+        self._acked_total = 0
+        self._closed = False
+
+    @property
+    def written_total(self) -> int:
+        """Cumulative bytes the application has written."""
+        return self._written_total
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes written but not yet acknowledged."""
+        return self._written_total - self._acked_total
+
+    @property
+    def free_bytes(self) -> int:
+        """Space the application may still write into."""
+        return self._limit - self.buffered_bytes
+
+    @property
+    def closed(self) -> bool:
+        """True after the application signalled end of stream."""
+        return self._closed
+
+    def write(self, nbytes: int) -> int:
+        """Accept up to ``nbytes``; returns how many were taken."""
+        if self._closed:
+            raise TransportError("cannot write after close")
+        if nbytes < 0:
+            raise ConfigurationError(f"write size must be >= 0, got {nbytes}")
+        taken = min(nbytes, self.free_bytes)
+        self._written_total += taken
+        return taken
+
+    def close(self) -> None:
+        """No more application data will be written."""
+        self._closed = True
+
+    def acked(self, cumulative_stream_bytes: int) -> None:
+        """The peer has acknowledged the stream up to this byte count."""
+        if cumulative_stream_bytes > self._written_total:
+            raise TransportError(
+                f"peer acked {cumulative_stream_bytes} B but only "
+                f"{self._written_total} B were written"
+            )
+        self._acked_total = max(self._acked_total, cumulative_stream_bytes)
+
+    def available_from(self, stream_offset: int) -> int:
+        """Unsent bytes at and beyond ``stream_offset``."""
+        return max(0, self._written_total - stream_offset)
+
+
+class ReceiveReassembly:
+    """Tracks in-order delivery over sequence space."""
+
+    def __init__(self, rcv_nxt: int = 0):
+        self._rcv_nxt = rcv_nxt
+        self._segments: list[tuple[int, int]] = []  # disjoint, sorted
+
+    @property
+    def rcv_nxt(self) -> int:
+        """The next expected sequence number."""
+        return self._rcv_nxt
+
+    @property
+    def out_of_order_bytes(self) -> int:
+        """Bytes buffered beyond the in-order point."""
+        return sum(end - start for start, end in self._segments)
+
+    def offer(self, seq: int, length: int) -> tuple[int, bool]:
+        """Accept a segment; returns (newly in-order bytes, was in order).
+
+        ``was_in_order`` is False when the segment left a gap (old data or
+        out-of-order data) — the caller uses it for immediate-ACK rules.
+        """
+        if length < 0:
+            raise ConfigurationError(f"length must be >= 0, got {length}")
+        end = seq + length
+        in_order = seq <= self._rcv_nxt and end > self._rcv_nxt
+        if end > self._rcv_nxt:
+            self._insert(max(seq, self._rcv_nxt), end)
+        before = self._rcv_nxt
+        self._advance()
+        return self._rcv_nxt - before, in_order
+
+    def _insert(self, start: int, end: int) -> None:
+        merged = []
+        for s, e in self._segments:
+            if e < start or s > end:
+                merged.append((s, e))
+            else:
+                start = min(start, s)
+                end = max(end, e)
+        merged.append((start, end))
+        merged.sort()
+        self._segments = merged
+
+    def _advance(self) -> None:
+        while self._segments and self._segments[0][0] <= self._rcv_nxt:
+            start, end = self._segments.pop(0)
+            self._rcv_nxt = max(self._rcv_nxt, end)

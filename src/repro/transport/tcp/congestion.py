@@ -1,0 +1,78 @@
+"""Reno congestion control.
+
+Window arithmetic is in bytes.  The state machine is the classic one:
+slow start below ssthresh, AIMD congestion avoidance above it, fast
+retransmit on the third duplicate ACK, fast recovery with window
+inflation until a new ACK arrives, multiplicative decrease to one MSS on
+a retransmission timeout.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class RenoCongestionControl:
+    """Reno window logic, independent of timers and wire details."""
+
+    def __init__(
+        self,
+        mss_bytes: int,
+        initial_cwnd_segments: int = 2,
+        initial_ssthresh_bytes: int = 65535,
+    ):
+        if mss_bytes <= 0:
+            raise ConfigurationError(f"MSS must be > 0 bytes, got {mss_bytes}")
+        if initial_cwnd_segments < 1:
+            raise ConfigurationError("initial cwnd must be >= 1 segment")
+        self._mss = mss_bytes
+        self.cwnd_bytes = initial_cwnd_segments * mss_bytes
+        self.ssthresh_bytes = initial_ssthresh_bytes
+        self.duplicate_acks = 0
+        self.in_fast_recovery = False
+
+    @property
+    def mss_bytes(self) -> int:
+        """The maximum segment size the windows are counted against."""
+        return self._mss
+
+    @property
+    def in_slow_start(self) -> bool:
+        """True while cwnd grows exponentially."""
+        return not self.in_fast_recovery and self.cwnd_bytes < self.ssthresh_bytes
+
+    def on_new_ack(self, acked_bytes: int) -> None:
+        """An ACK advanced snd_una by ``acked_bytes``."""
+        if acked_bytes <= 0:
+            raise ConfigurationError(f"acked bytes must be > 0, got {acked_bytes}")
+        self.duplicate_acks = 0
+        if self.in_fast_recovery:
+            # Leave recovery: deflate to ssthresh.
+            self.in_fast_recovery = False
+            self.cwnd_bytes = self.ssthresh_bytes
+            return
+        if self.cwnd_bytes < self.ssthresh_bytes:
+            self.cwnd_bytes += min(acked_bytes, self._mss)
+        else:
+            self.cwnd_bytes += max(1, self._mss * self._mss // self.cwnd_bytes)
+
+    def on_duplicate_ack(self, flight_bytes: int) -> bool:
+        """A duplicate ACK arrived; True when fast retransmit must fire."""
+        if self.in_fast_recovery:
+            # Window inflation: each dup signals a departed segment.
+            self.cwnd_bytes += self._mss
+            return False
+        self.duplicate_acks += 1
+        if self.duplicate_acks < 3:
+            return False
+        self.ssthresh_bytes = max(flight_bytes // 2, 2 * self._mss)
+        self.cwnd_bytes = self.ssthresh_bytes + 3 * self._mss
+        self.in_fast_recovery = True
+        return True
+
+    def on_timeout(self, flight_bytes: int) -> None:
+        """Retransmission timeout: collapse to one segment."""
+        self.ssthresh_bytes = max(flight_bytes // 2, 2 * self._mss)
+        self.cwnd_bytes = self._mss
+        self.duplicate_acks = 0
+        self.in_fast_recovery = False

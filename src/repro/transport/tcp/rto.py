@@ -1,0 +1,66 @@
+"""Jacobson/Karels retransmission-timeout estimation.
+
+SRTT and RTTVAR follow RFC 6298 (alpha = 1/8, beta = 1/4); the RTO is
+SRTT + 4 RTTVAR clamped to [min_rto, max_rto], doubling on every
+timeout until the next valid sample.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class RtoEstimator:
+    """Smoothed RTT tracking and timeout selection."""
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+
+    def __init__(
+        self,
+        initial_rto_s: float = 1.0,
+        min_rto_s: float = 0.2,
+        max_rto_s: float = 60.0,
+    ):
+        if not 0 < min_rto_s <= initial_rto_s <= max_rto_s:
+            raise ConfigurationError(
+                "RTO bounds must satisfy 0 < min <= initial <= max, got "
+                f"min={min_rto_s}, initial={initial_rto_s}, max={max_rto_s}"
+            )
+        self._min_rto_s = min_rto_s
+        self._max_rto_s = max_rto_s
+        self._srtt_s: float | None = None
+        self._rttvar_s = 0.0
+        self._rto_s = initial_rto_s
+        self._backoff_multiplier = 1
+
+    @property
+    def rto_s(self) -> float:
+        """The current retransmission timeout, with backoff applied."""
+        return min(self._rto_s * self._backoff_multiplier, self._max_rto_s)
+
+    @property
+    def srtt_s(self) -> float | None:
+        """Smoothed RTT, None before the first sample."""
+        return self._srtt_s
+
+    def sample(self, rtt_s: float) -> None:
+        """Feed one RTT measurement (never from a retransmitted segment)."""
+        if rtt_s <= 0:
+            raise ConfigurationError(f"RTT sample must be > 0 s, got {rtt_s}")
+        if self._srtt_s is None:
+            self._srtt_s = rtt_s
+            self._rttvar_s = rtt_s / 2.0
+        else:
+            error = rtt_s - self._srtt_s
+            self._rttvar_s += self.BETA * (abs(error) - self._rttvar_s)
+            self._srtt_s += self.ALPHA * error
+        self._rto_s = min(
+            max(self._srtt_s + 4.0 * self._rttvar_s, self._min_rto_s),
+            self._max_rto_s,
+        )
+        self._backoff_multiplier = 1
+
+    def backoff(self) -> None:
+        """Double the timeout after a retransmission (Karn's algorithm)."""
+        self._backoff_multiplier = min(self._backoff_multiplier * 2, 64)

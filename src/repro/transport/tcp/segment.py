@@ -1,0 +1,57 @@
+"""TCP segment wire format (byte accounting, no payload contents)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: TCP header without options.
+TCP_HEADER_BYTES = 20
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """One TCP segment."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    payload_bytes: int = 0
+    syn: bool = False
+    fin: bool = False
+    ack_flag: bool = True
+    window: int = 65535
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ConfigurationError(
+                f"payload must be >= 0 bytes, got {self.payload_bytes}"
+            )
+        if self.seq < 0 or self.ack < 0:
+            raise ConfigurationError("sequence numbers must be >= 0")
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes handed to IP (header + payload)."""
+        return TCP_HEADER_BYTES + self.payload_bytes
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence numbers this segment consumes (SYN/FIN count one)."""
+        return self.payload_bytes + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def end_seq(self) -> int:
+        """First sequence number after this segment."""
+        return self.seq + self.seq_space
+
+    def describe(self) -> str:
+        """Short human-readable summary for traces."""
+        flags = "".join(
+            flag
+            for flag, on in (("S", self.syn), ("F", self.fin), (".", self.ack_flag))
+            if on
+        )
+        return f"[{flags}] seq={self.seq} ack={self.ack} len={self.payload_bytes}"

@@ -1,0 +1,109 @@
+"""The per-node TCP protocol object: listeners and demultiplexing."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import TransportError
+from repro.core.encapsulation import TransportProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.ip import IpLayer
+from repro.sim.engine import Simulator
+from repro.sim.tracing import Tracer
+from repro.transport.tcp.connection import TcpConfig, TcpConnection
+from repro.transport.tcp.segment import TcpSegment
+
+AcceptHandler = Callable[[TcpConnection], None]
+
+
+class TcpProtocol:
+    """Connection table + listener table for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ip: "IpLayer",
+        config: TcpConfig | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self._sim = sim
+        self._ip = ip
+        self._config = config if config is not None else TcpConfig()
+        self._tracer = tracer if tracer is not None else Tracer()
+        self._listeners: dict[int, AcceptHandler] = {}
+        self._connections: dict[tuple[int, int, int], TcpConnection] = {}
+        self._next_ephemeral = 49152
+        ip.register_protocol(TransportProtocol.TCP.value, self._on_segment)
+
+    @property
+    def config(self) -> TcpConfig:
+        """The default configuration for new connections."""
+        return self._config
+
+    def listen(self, port: int, on_connection: AcceptHandler) -> None:
+        """Accept inbound connections on ``port``."""
+        if port in self._listeners:
+            raise TransportError(f"tcp port {port} already listening")
+        self._listeners[port] = on_connection
+
+    def connect(
+        self,
+        remote_addr: int,
+        remote_port: int,
+        local_port: int | None = None,
+        config: TcpConfig | None = None,
+    ) -> TcpConnection:
+        """Active open to ``remote_addr:remote_port``."""
+        if local_port is None:
+            local_port = self._allocate_port()
+        key = (local_port, remote_addr, remote_port)
+        if key in self._connections:
+            raise TransportError(f"connection {key} already exists")
+        connection = TcpConnection(
+            self._sim,
+            self,
+            config if config is not None else self._config,
+            local_addr=self._ip.address,
+            local_port=local_port,
+            remote_addr=remote_addr,
+            remote_port=remote_port,
+            tracer=self._tracer,
+        )
+        self._connections[key] = connection
+        connection.connect()
+        return connection
+
+    def send_segment(self, segment: TcpSegment, dst: int) -> bool:
+        """Hand a segment to the IP layer."""
+        return self._ip.send(segment, segment.size_bytes, dst, TransportProtocol.TCP.value)
+
+    def _allocate_port(self) -> int:
+        while any(key[0] == self._next_ephemeral for key in self._connections):
+            self._next_ephemeral += 1
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def _on_segment(self, segment: TcpSegment, src: int) -> None:
+        key = (segment.dst_port, src, segment.src_port)
+        connection = self._connections.get(key)
+        if connection is not None:
+            connection.on_segment(segment)
+            return
+        if segment.syn and segment.dst_port in self._listeners:
+            connection = TcpConnection(
+                self._sim,
+                self,
+                self._config,
+                local_addr=self._ip.address,
+                local_port=segment.dst_port,
+                remote_addr=src,
+                remote_port=segment.src_port,
+                tracer=self._tracer,
+            )
+            self._connections[key] = connection
+            connection.accept_syn(segment)
+            self._listeners[segment.dst_port](connection)
+        # Segments for unknown connections are silently dropped (no RST
+        # in this simulation).

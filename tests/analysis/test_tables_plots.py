@@ -1,0 +1,84 @@
+"""Tests for text tables, ASCII plots and CSV export."""
+
+import pytest
+
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.csvio import write_csv
+from repro.analysis.tables import render_table
+from repro.errors import ConfigurationError
+
+
+class TestRenderTable:
+    def test_columns_align(self):
+        text = render_table(["name", "value"], [("a", 1), ("longer", 2.5)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+        # Header and rows share the same column offsets.
+        assert lines[0].index("value") == lines[2].index("1")
+
+    def test_floats_get_three_decimals(self):
+        text = render_table(["x"], [(1.23456,)])
+        assert "1.235" in text
+
+    def test_title_is_first_line(self):
+        text = render_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+
+class TestLinePlot:
+    def test_contains_series_glyphs_and_legend(self):
+        text = line_plot(
+            [1, 2, 3],
+            {"up": [0.0, 0.5, 1.0], "down": [1.0, 0.5, 0.0]},
+            height=5,
+        )
+        assert "o=up" in text
+        assert "x=down" in text
+
+    def test_monotone_series_renders_monotone_column_heights(self):
+        text = line_plot([1, 2, 3, 4], {"s": [0.0, 0.33, 0.66, 1.0]}, height=4)
+        rows = [line.split("|")[1] for line in text.splitlines() if "|" in line]
+        columns = {}
+        for row_index, row in enumerate(rows):
+            for col_index, char in enumerate(row):
+                if char == "o":
+                    columns[col_index] = row_index
+        assert sorted(columns) == [0, 1, 2, 3]
+        heights = [columns[i] for i in sorted(columns)]
+        assert heights == sorted(heights, reverse=True)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_plot([1, 2], {"s": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_plot([1], {})
+
+    def test_flat_series_does_not_crash(self):
+        text = line_plot([1, 2], {"flat": [0.5, 0.5]})
+        assert "flat" in text
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [(1, 2), (3, 4)])
+        content = path.read_text().strip().splitlines()
+        assert content == ["a,b", "1,2", "3,4"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "out.csv", ["x"], [(1,)])
+        assert path.exists()
+
+    def test_mismatched_row_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(tmp_path / "bad.csv", ["a", "b"], [(1,)])

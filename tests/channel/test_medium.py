@@ -1,0 +1,112 @@
+"""Tests for the broadcast medium."""
+
+import random
+
+import pytest
+
+from repro.channel.medium import Medium, Signal
+from repro.channel.shadowing import ChannelModel
+from repro.errors import MediumError
+from repro.sim.engine import Simulator
+
+
+class FakeDevice:
+    """Minimal medium device recording its callbacks."""
+
+    def __init__(self, sim, position):
+        self._sim = sim
+        self.position_m = position
+        self.events = []
+
+    def on_signal_start(self, signal, rx_power_dbm):
+        self.events.append(("start", self._sim.now_ns, signal.signal_id, rx_power_dbm))
+
+    def on_signal_end(self, signal):
+        self.events.append(("end", self._sim.now_ns, signal.signal_id))
+
+
+def make_medium(*positions, floor=-110.0, sigma=0.0):
+    sim = Simulator()
+    channel = ChannelModel(fast_sigma_db=sigma, rng=random.Random(1))
+    medium = Medium(sim, channel, delivery_floor_dbm=floor)
+    devices = []
+    for position in positions:
+        device = FakeDevice(sim, (float(position), 0.0))
+        medium.attach(device)
+        devices.append(device)
+    return sim, medium, devices
+
+
+class TestTransmit:
+    def test_signal_reaches_other_devices_not_sender(self):
+        sim, medium, (tx, rx) = make_medium(0, 30)
+        medium.transmit(tx, "frame", duration_ns=1_000_000, tx_power_dbm=15.0)
+        sim.run()
+        assert tx.events == []
+        kinds = [event[0] for event in rx.events]
+        assert kinds == ["start", "end"]
+
+    def test_start_and_end_separated_by_duration(self):
+        sim, medium, (tx, rx) = make_medium(0, 30)
+        medium.transmit(tx, "frame", duration_ns=1_000_000, tx_power_dbm=15.0)
+        sim.run()
+        start = next(e for e in rx.events if e[0] == "start")
+        end = next(e for e in rx.events if e[0] == "end")
+        assert end[1] - start[1] == 1_000_000
+
+    def test_propagation_delay_applied(self):
+        sim, medium, (tx, rx) = make_medium(0, 300)
+        medium.transmit(tx, "frame", duration_ns=1000, tx_power_dbm=40.0)
+        sim.run()
+        start = next(e for e in rx.events if e[0] == "start")
+        # 300 m at light speed: ~1000 ns.
+        assert start[1] == pytest.approx(1000, abs=10)
+
+    def test_rx_power_follows_path_loss(self):
+        sim, medium, (tx, near, far) = make_medium(0, 10, 100)
+        medium.transmit(tx, "frame", duration_ns=1000, tx_power_dbm=15.0)
+        sim.run()
+        near_power = next(e for e in near.events if e[0] == "start")[3]
+        far_power = next(e for e in far.events if e[0] == "start")[3]
+        assert near_power - far_power == pytest.approx(35.0, abs=0.1)
+
+    def test_delivery_floor_suppresses_weak_signals(self):
+        sim, medium, (tx, rx) = make_medium(0, 500, floor=-100.0)
+        medium.transmit(tx, "frame", duration_ns=1000, tx_power_dbm=15.0)
+        sim.run()
+        assert rx.events == []
+
+    def test_multiple_receivers_each_get_the_signal(self):
+        sim, medium, devices = make_medium(0, 20, 40, 60)
+        medium.transmit(devices[0], "frame", duration_ns=1000, tx_power_dbm=15.0)
+        sim.run()
+        for rx in devices[1:]:
+            assert [e[0] for e in rx.events] == ["start", "end"]
+
+    def test_signal_ids_are_unique(self):
+        sim, medium, (tx, rx) = make_medium(0, 20)
+        a = medium.transmit(tx, "one", duration_ns=1000, tx_power_dbm=15.0)
+        b = medium.transmit(tx, "two", duration_ns=1000, tx_power_dbm=15.0)
+        assert a.signal_id != b.signal_id
+
+    def test_signal_duration_property(self):
+        signal = Signal(None, "f", 15.0, 100, 400)
+        assert signal.duration_ns == 300
+
+
+class TestValidation:
+    def test_double_attach_rejected(self):
+        sim, medium, (device,) = make_medium(0)
+        with pytest.raises(MediumError):
+            medium.attach(device)
+
+    def test_unattached_transmitter_rejected(self):
+        sim, medium, _ = make_medium(0)
+        stranger = FakeDevice(sim, (5.0, 0.0))
+        with pytest.raises(MediumError):
+            medium.transmit(stranger, "frame", duration_ns=1000, tx_power_dbm=15.0)
+
+    def test_non_positive_duration_rejected(self):
+        sim, medium, (tx, _) = make_medium(0, 10)
+        with pytest.raises(MediumError):
+            medium.transmit(tx, "frame", duration_ns=0, tx_power_dbm=15.0)

@@ -1,0 +1,87 @@
+"""Tests for station mobility."""
+
+import pytest
+
+from repro.channel.mobility import LinearMobility, walk_away
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+
+class FakeDevice:
+    def __init__(self):
+        self.position_m = (0.0, 0.0)
+
+
+class TestLinearMobility:
+    def test_moves_at_constant_velocity(self):
+        sim = Simulator()
+        device = FakeDevice()
+        mobility = LinearMobility(sim, device, (2.0, -1.0), update_interval_s=0.1)
+        mobility.start()
+        sim.run(until_s=3.0)
+        assert device.position_m[0] == pytest.approx(6.0, abs=0.3)
+        assert device.position_m[1] == pytest.approx(-3.0, abs=0.2)
+
+    def test_speed_property(self):
+        sim = Simulator()
+        mobility = LinearMobility(sim, FakeDevice(), (3.0, 4.0))
+        assert mobility.speed_m_s == 5.0
+
+    def test_stop_freezes_position(self):
+        sim = Simulator()
+        device = FakeDevice()
+        mobility = LinearMobility(sim, device, (1.0, 0.0), update_interval_s=0.1)
+        mobility.start()
+        sim.schedule_s(1.0, mobility.stop)
+        sim.run(until_s=5.0)
+        assert device.position_m[0] == pytest.approx(1.0, abs=0.15)
+
+    def test_velocity_change_mid_flight(self):
+        sim = Simulator()
+        device = FakeDevice()
+        mobility = LinearMobility(sim, device, (1.0, 0.0), update_interval_s=0.05)
+        mobility.start()
+        sim.schedule_s(1.0, mobility.set_velocity, (0.0, 1.0))
+        sim.run(until_s=2.0)
+        assert device.position_m[0] == pytest.approx(1.0, abs=0.1)
+        assert device.position_m[1] == pytest.approx(1.0, abs=0.1)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearMobility(Simulator(), FakeDevice(), (1.0, 0.0), 0.0)
+
+    def test_walk_away_starts_immediately(self):
+        sim = Simulator()
+        device = FakeDevice()
+        walk_away(sim, device, speed_m_s=5.0)
+        sim.run(until_s=2.0)
+        assert device.position_m[0] == pytest.approx(10.0, abs=0.6)
+
+    def test_walk_away_rejects_bad_speed(self):
+        with pytest.raises(ConfigurationError):
+            walk_away(Simulator(), FakeDevice(), speed_m_s=0.0)
+
+
+class TestMobileLink:
+    def test_walking_receiver_eventually_loses_the_link(self):
+        from repro.experiments.mobility import measure_link_lifetime
+        from repro.core.params import Rate
+
+        result = measure_link_lifetime(
+            Rate.MBPS_11, speed_m_s=20.0, horizon_s=10.0
+        )
+        # 11 Mbps range ~31 m from a 5 m start at 20 m/s: ~1.3 s.
+        assert 0.5 < result.lifetime_s < 3.5
+        assert 15.0 < result.break_distance_m < 60.0
+
+    def test_ns2_preset_lives_much_longer(self):
+        from repro.experiments.mobility import measure_link_lifetime
+        from repro.core.params import Rate
+
+        calibrated = measure_link_lifetime(
+            Rate.MBPS_2, speed_m_s=20.0, horizon_s=20.0
+        )
+        ns2 = measure_link_lifetime(
+            Rate.MBPS_2, speed_m_s=20.0, ns2_preset=True, horizon_s=20.0
+        )
+        assert ns2.lifetime_s > 2.0 * calibrated.lifetime_s

@@ -1,0 +1,87 @@
+"""Tests for placements and the analytic range table."""
+
+import pytest
+
+from repro.channel.placement import (
+    chain_placement,
+    figure6_placement,
+    figure8_placement,
+    figure10_placement,
+    linear_positions,
+    two_nodes,
+)
+from repro.channel.propagation import LogDistancePathLoss
+from repro.channel.ranges import compute_range_table
+from repro.core.params import Rate
+from repro.errors import ConfigurationError
+from repro.phy.radio import RadioParameters
+
+
+class TestPlacements:
+    def test_linear_positions_accumulate_gaps(self):
+        assert linear_positions(25.0, 80.0, 25.0) == (
+            (0.0, 0.0),
+            (25.0, 0.0),
+            (105.0, 0.0),
+            (130.0, 0.0),
+        )
+
+    def test_invalid_gap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            linear_positions(25.0, -1.0)
+
+    def test_distance_helper(self):
+        placement = chain_placement("x", 25.0, 80.0, 25.0)
+        assert placement.distance(0, 3) == 130.0
+        assert placement.distance(1, 2) == 80.0
+        assert len(placement) == 4
+
+    def test_paper_placements(self):
+        assert figure6_placement().distance(0, 3) == 130.0
+        assert figure8_placement().distance(1, 2) == 90.0
+        assert figure10_placement().distance(1, 2) == 60.0
+        assert len(two_nodes(15.0)) == 2
+
+
+class TestRangeTable:
+    def test_describe_mentions_every_rate(self):
+        radio = RadioParameters.calibrated()
+        table = compute_range_table(
+            LogDistancePathLoss.calibrated(),
+            radio.tx_power_dbm,
+            radio.sensitivity_dbm,
+            radio.cs_threshold_dbm,
+        )
+        text = table.describe()
+        for rate in Rate:
+            assert str(rate) in text
+        assert "carrier-sense" in text
+
+    def test_extra_loss_shrinks_ranges(self):
+        radio = RadioParameters.calibrated()
+        propagation = LogDistancePathLoss.calibrated()
+        clear = compute_range_table(
+            propagation,
+            radio.tx_power_dbm,
+            radio.sensitivity_dbm,
+            radio.cs_threshold_dbm,
+        )
+        stormy = compute_range_table(
+            propagation,
+            radio.tx_power_dbm,
+            radio.sensitivity_dbm,
+            radio.cs_threshold_dbm,
+            extra_loss_db=3.0,
+        )
+        for rate in Rate:
+            assert stormy.data_tx_range_m[rate] < clear.data_tx_range_m[rate]
+
+    def test_control_ranges_restricted_to_basic_rates(self):
+        radio = RadioParameters.calibrated()
+        table = compute_range_table(
+            LogDistancePathLoss.calibrated(),
+            radio.tx_power_dbm,
+            radio.sensitivity_dbm,
+            radio.cs_threshold_dbm,
+        )
+        assert set(table.control_tx_range_m) == {Rate.MBPS_1, Rate.MBPS_2}

@@ -1,0 +1,99 @@
+"""Tests for the path-loss models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.propagation import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    TwoRayGroundPathLoss,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFreeSpace:
+    def test_loss_at_one_metre_2_4ghz(self):
+        # 20 log10(4 pi / lambda) with lambda ~0.123 m: ~40.2 dB.
+        model = FreeSpacePathLoss()
+        assert model.path_loss_db(1.0) == pytest.approx(40.2, abs=0.3)
+
+    def test_20_db_per_decade(self):
+        model = FreeSpacePathLoss()
+        assert model.path_loss_db(100.0) - model.path_loss_db(10.0) == pytest.approx(
+            20.0
+        )
+
+    def test_zero_distance_clamped(self):
+        model = FreeSpacePathLoss()
+        assert math.isfinite(model.path_loss_db(0.0))
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FreeSpacePathLoss().path_loss_db(-1.0)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FreeSpacePathLoss(frequency_hz=0.0)
+
+
+class TestLogDistance:
+    def test_reference_loss_at_reference_distance(self):
+        model = LogDistancePathLoss(exponent=3.5, reference_loss_db=40.2)
+        assert model.path_loss_db(1.0) == pytest.approx(40.2)
+
+    def test_35_db_per_decade_at_exponent_3_5(self):
+        model = LogDistancePathLoss.calibrated()
+        assert model.path_loss_db(100.0) - model.path_loss_db(10.0) == pytest.approx(
+            35.0
+        )
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(exponent=0.0)
+
+    def test_invalid_reference_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(reference_distance_m=0.0)
+
+    @given(
+        d1=st.floats(min_value=0.1, max_value=10_000.0),
+        d2=st.floats(min_value=0.1, max_value=10_000.0),
+    )
+    def test_loss_monotone_in_distance(self, d1, d2):
+        model = LogDistancePathLoss.calibrated()
+        if d1 > d2:
+            d1, d2 = d2, d1
+        assert model.path_loss_db(d1) <= model.path_loss_db(d2)
+
+
+class TestTwoRayGround:
+    def test_matches_free_space_below_crossover(self):
+        model = TwoRayGroundPathLoss()
+        free = FreeSpacePathLoss()
+        d = model.crossover_distance_m / 2
+        assert model.path_loss_db(d) == pytest.approx(free.path_loss_db(d))
+
+    def test_40_db_per_decade_beyond_crossover(self):
+        model = TwoRayGroundPathLoss()
+        d = model.crossover_distance_m * 2
+        assert model.path_loss_db(10 * d) - model.path_loss_db(d) == pytest.approx(
+            40.0
+        )
+
+    def test_continuous_at_crossover(self):
+        model = TwoRayGroundPathLoss()
+        d = model.crossover_distance_m
+        below = model.path_loss_db(d * 0.999)
+        above = model.path_loss_db(d * 1.001)
+        assert below == pytest.approx(above, abs=0.5)
+
+    def test_crossover_near_230m_for_1_5m_antennas(self):
+        # 4 pi h_t h_r / lambda with h = 1.5 m at 2.437 GHz: ~230 m.
+        model = TwoRayGroundPathLoss()
+        assert model.crossover_distance_m == pytest.approx(230.0, abs=5.0)
+
+    def test_invalid_heights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoRayGroundPathLoss(tx_antenna_height_m=0.0)

@@ -1,0 +1,78 @@
+"""Tests for the composite channel model."""
+
+import random
+
+import pytest
+
+from repro.channel.shadowing import ChannelModel, distance_m
+from repro.errors import ConfigurationError
+
+
+class TestDistance:
+    def test_euclidean(self):
+        assert distance_m((0.0, 0.0), (3.0, 4.0)) == 5.0
+
+    def test_zero_for_same_point(self):
+        assert distance_m((2.0, 2.0), (2.0, 2.0)) == 0.0
+
+
+class TestChannelModel:
+    def test_deterministic_without_shadowing(self):
+        model = ChannelModel(fast_sigma_db=0.0)
+        losses = {
+            model.loss_db((0, 0), (50, 0), "a", "b", t) for t in (0, 10, 1000)
+        }
+        assert len(losses) == 1
+
+    def test_mean_loss_matches_propagation(self):
+        model = ChannelModel(fast_sigma_db=0.0)
+        assert model.loss_db((0, 0), (50, 0), "a", "b", 0) == pytest.approx(
+            model.mean_loss_db(50.0)
+        )
+
+    def test_fast_shadowing_varies_per_call(self):
+        model = ChannelModel(fast_sigma_db=3.0, rng=random.Random(1))
+        losses = {model.loss_db((0, 0), (50, 0), "a", "b", 0) for _ in range(10)}
+        assert len(losses) == 10
+
+    def test_fast_shadowing_has_requested_spread(self):
+        model = ChannelModel(fast_sigma_db=3.0, rng=random.Random(1))
+        samples = [model.loss_db((0, 0), (50, 0), "a", "b", 0) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert mean == pytest.approx(model.mean_loss_db(50.0), abs=0.2)
+        assert var**0.5 == pytest.approx(3.0, abs=0.2)
+
+    def test_static_shadowing_is_stable_per_link(self):
+        model = ChannelModel(
+            fast_sigma_db=0.0, static_sigma_db=4.0, rng=random.Random(1)
+        )
+        first = model.loss_db((0, 0), (50, 0), "a", "b", 0)
+        second = model.loss_db((0, 0), (50, 0), "a", "b", 99)
+        assert first == second
+
+    def test_asymmetric_links_differ(self):
+        model = ChannelModel(
+            fast_sigma_db=0.0,
+            static_sigma_db=4.0,
+            asymmetric=True,
+            rng=random.Random(1),
+        )
+        forward = model.loss_db((0, 0), (50, 0), "a", "b", 0)
+        reverse = model.loss_db((50, 0), (0, 0), "b", "a", 0)
+        assert forward != reverse
+
+    def test_symmetric_links_match(self):
+        model = ChannelModel(
+            fast_sigma_db=0.0,
+            static_sigma_db=4.0,
+            asymmetric=False,
+            rng=random.Random(1),
+        )
+        forward = model.loss_db((0, 0), (50, 0), "a", "b", 0)
+        reverse = model.loss_db((50, 0), (0, 0), "b", "a", 0)
+        assert forward == reverse
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelModel(fast_sigma_db=-1.0)

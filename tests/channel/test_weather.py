@@ -1,0 +1,75 @@
+"""Tests for the slow weather process."""
+
+import random
+
+import pytest
+
+from repro.channel.shadowing import ChannelModel
+from repro.channel.weather import DayConditions, WeatherProcess
+from repro.errors import ConfigurationError
+
+
+class TestDayConditions:
+    def test_bad_day_is_worse_than_good_day(self):
+        assert DayConditions.bad_day().offset_db > DayConditions.good_day().offset_db
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeatherProcess(random.Random(0), DayConditions("x", 0.0, sigma_db=-1.0))
+
+    def test_invalid_correlation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeatherProcess(
+                random.Random(0),
+                DayConditions("x", 0.0, correlation_time_s=0.0),
+            )
+
+
+class TestWeatherProcess:
+    def test_calm_default_is_zero(self):
+        process = WeatherProcess(random.Random(0))
+        assert process.offset_db(0) == 0.0
+        assert process.offset_db(10**12) == 0.0
+
+    def test_day_offset_applied(self):
+        process = WeatherProcess(
+            random.Random(0), DayConditions("test", offset_db=2.5, sigma_db=0.0)
+        )
+        assert process.offset_db(0) == 2.5
+
+    def test_drift_is_stationary(self):
+        day = DayConditions("drifty", offset_db=0.0, sigma_db=2.0,
+                            correlation_time_s=10.0)
+        process = WeatherProcess(random.Random(3), day)
+        step_ns = 5 * 10**9
+        samples = [process.offset_db(i * step_ns) for i in range(4000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert abs(mean) < 0.4
+        assert var**0.5 == pytest.approx(2.0, abs=0.4)
+
+    def test_drift_is_correlated_over_short_gaps(self):
+        day = DayConditions("slow", offset_db=0.0, sigma_db=2.0,
+                            correlation_time_s=100.0)
+        process = WeatherProcess(random.Random(3), day)
+        a = process.offset_db(0)
+        b = process.offset_db(10**6)  # 1 ms later: essentially unchanged
+        assert b == pytest.approx(a, abs=0.2)
+
+    def test_query_in_past_returns_held_state(self):
+        day = DayConditions("x", offset_db=0.0, sigma_db=2.0)
+        process = WeatherProcess(random.Random(3), day)
+        now_value = process.offset_db(10**10)
+        assert process.offset_db(5 * 10**9) == now_value
+
+    def test_weather_shifts_channel_loss(self):
+        bad = ChannelModel(
+            fast_sigma_db=0.0,
+            weather=WeatherProcess(
+                random.Random(0), DayConditions("bad", 3.0, sigma_db=0.0)
+            ),
+        )
+        clear = ChannelModel(fast_sigma_db=0.0)
+        assert bad.loss_db((0, 0), (50, 0), "a", "b", 0) == pytest.approx(
+            clear.loss_db((0, 0), (50, 0), "a", "b", 0) + 3.0
+        )

@@ -1,0 +1,58 @@
+"""Tests for the Figure-1 encapsulation stack."""
+
+import pytest
+
+from repro.core.encapsulation import (
+    IP_HEADER_BYTES,
+    TransportProtocol,
+    encapsulation_report,
+    mac_payload_bytes,
+    overhead_fraction,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMacPayloadBytes:
+    def test_udp_adds_28_bytes(self):
+        # 8 (UDP) + 20 (IP): the overhead that makes Table 2 reproduce.
+        assert mac_payload_bytes(512, TransportProtocol.UDP) == 540
+
+    def test_tcp_adds_40_bytes(self):
+        assert mac_payload_bytes(512, TransportProtocol.TCP) == 552
+
+    def test_zero_payload_is_allowed(self):
+        # A bare TCP ACK has no application payload.
+        assert mac_payload_bytes(0, TransportProtocol.TCP) == 40
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mac_payload_bytes(-1)
+
+
+class TestEncapsulationReport:
+    def test_reports_all_four_layers(self):
+        report = encapsulation_report(512)
+        assert [row.layer for row in report] == ["application", "udp", "ip", "mac"]
+
+    def test_totals_nest(self):
+        report = encapsulation_report(512, TransportProtocol.TCP)
+        totals = [row.total_bytes for row in report]
+        assert totals == [512, 532, 552, 586]
+
+    def test_each_layer_wraps_the_previous(self):
+        report = encapsulation_report(100)
+        for inner, outer in zip(report, report[1:]):
+            assert outer.payload_bytes == inner.total_bytes
+
+
+class TestOverheadFraction:
+    def test_fraction_decreases_with_payload(self):
+        small = overhead_fraction(64)
+        large = overhead_fraction(1024)
+        assert small > large
+
+    def test_zero_payload_is_all_overhead(self):
+        assert overhead_fraction(0) == 1.0
+
+    def test_ip_header_constant(self):
+        assert IP_HEADER_BYTES == 20

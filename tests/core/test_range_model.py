@@ -1,0 +1,106 @@
+"""Tests for analytic range solving and outage probability."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.range_model import (
+    interference_range_m,
+    loss_probability,
+    solve_range_m,
+)
+from repro.errors import ConfigurationError
+
+
+def log_distance_loss(exponent=3.5, reference_db=40.2):
+    def loss(distance_m: float) -> float:
+        return reference_db + 10.0 * exponent * math.log10(max(distance_m, 1e-9))
+
+    return loss
+
+
+class TestSolveRange:
+    def test_inverts_the_path_loss(self):
+        loss = log_distance_loss()
+        # Received power at d: 15 - loss(d).  Threshold -77 dBm.
+        d = solve_range_m(loss, tx_power_dbm=15.0, threshold_dbm=-77.0)
+        assert 15.0 - loss(d) == pytest.approx(-77.0, abs=0.01)
+
+    def test_lower_threshold_gives_longer_range(self):
+        loss = log_distance_loss()
+        near = solve_range_m(loss, 15.0, -77.0)
+        far = solve_range_m(loss, 15.0, -98.0)
+        assert far > near
+
+    def test_returns_lo_when_link_dead_at_lo(self):
+        loss = log_distance_loss()
+        assert solve_range_m(loss, -100.0, -50.0, lo_m=1.0) == 1.0
+
+    def test_returns_hi_when_threshold_never_reached(self):
+        assert solve_range_m(lambda d: 0.0, 15.0, -90.0, hi_m=500.0) == 500.0
+
+    def test_rejects_bad_bracket(self):
+        with pytest.raises(ConfigurationError):
+            solve_range_m(lambda d: d, 15.0, -90.0, lo_m=10.0, hi_m=5.0)
+
+    @given(threshold=st.floats(min_value=-100.0, max_value=-40.0))
+    def test_solution_within_bracket(self, threshold):
+        loss = log_distance_loss()
+        d = solve_range_m(loss, 15.0, threshold, lo_m=0.1, hi_m=100_000.0)
+        assert 0.1 <= d <= 100_000.0
+
+
+class TestLossProbability:
+    def test_half_at_exact_range(self):
+        loss = log_distance_loss()
+        d = solve_range_m(loss, 15.0, -77.0)
+        p = loss_probability(loss, 15.0, -77.0, d, shadowing_sigma_db=4.0)
+        assert p == pytest.approx(0.5, abs=0.01)
+
+    def test_monotone_in_distance(self):
+        loss = log_distance_loss()
+        probs = [
+            loss_probability(loss, 15.0, -77.0, d, shadowing_sigma_db=4.0)
+            for d in (10.0, 30.0, 60.0, 120.0)
+        ]
+        assert probs == sorted(probs)
+
+    def test_zero_sigma_is_hard_threshold(self):
+        loss = log_distance_loss()
+        d = solve_range_m(loss, 15.0, -77.0)
+        assert loss_probability(loss, 15.0, -77.0, d * 0.8, 0.0) == 0.0
+        assert loss_probability(loss, 15.0, -77.0, d * 1.2, 0.0) == 1.0
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            loss_probability(log_distance_loss(), 15.0, -77.0, 10.0, -1.0)
+
+    def test_rejects_non_positive_distance(self):
+        with pytest.raises(ConfigurationError):
+            loss_probability(log_distance_loss(), 15.0, -77.0, 0.0, 4.0)
+
+    @given(
+        distance=st.floats(min_value=1.0, max_value=1000.0),
+        sigma=st.floats(min_value=0.1, max_value=12.0),
+    )
+    def test_probability_in_unit_interval(self, distance, sigma):
+        p = loss_probability(log_distance_loss(), 15.0, -85.0, distance, sigma)
+        assert 0.0 <= p <= 1.0
+
+
+class TestInterferenceRange:
+    def test_grows_with_sender_distance(self):
+        loss = log_distance_loss()
+        near = interference_range_m(loss, 15.0, 10.0, required_sinr_db=10.0)
+        far = interference_range_m(loss, 15.0, 25.0, required_sinr_db=10.0)
+        assert far > near
+
+    def test_exceeds_sender_distance_for_positive_sinr(self):
+        # With equal powers, an interferer at the sender's own distance
+        # yields SINR = 0 dB, so any positive requirement pushes the
+        # interference range beyond the sender-receiver distance.
+        loss = log_distance_loss()
+        d = 25.0
+        if_range = interference_range_m(loss, 15.0, d, required_sinr_db=10.0)
+        assert if_range > d

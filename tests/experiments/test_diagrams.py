@@ -1,0 +1,39 @@
+"""Tests for the diagram renderers (Figures 1, 5, 6, 8, 10)."""
+
+from repro.channel.placement import figure6_placement, figure10_placement
+from repro.core.encapsulation import TransportProtocol
+from repro.experiments.diagrams import format_figure1, format_scenario
+
+
+class TestFigure1:
+    def test_contains_every_layer(self):
+        text = format_figure1(512)
+        for layer in ("application", "udp", "ip", "mac", "plcp"):
+            assert layer in text
+
+    def test_totals_match_encapsulation(self):
+        text = format_figure1(512, TransportProtocol.TCP)
+        assert "532B" in text  # 512 + 20 TCP
+        assert "552B" in text  # + 20 IP
+        assert "586B" in text  # + 34 MAC hdr/FCS
+
+    def test_plcp_duration_shown(self):
+        assert "192us" in format_figure1(512)
+
+
+class TestScenario:
+    def test_stations_in_order(self):
+        text = format_scenario(figure6_placement())
+        assert text.index("S1") < text.index("S2") < text.index("S3")
+
+    def test_distances_labelled(self):
+        text = format_scenario(figure6_placement())
+        assert "d(1,2)=25m" in text
+        assert "d(2,3)=80m" in text
+
+    def test_sessions_rendered(self):
+        text = format_scenario(
+            figure10_placement(), sessions=((0, 1), (3, 2))
+        )
+        assert "S1 -> S2" in text
+        assert "S4 -> S3" in text

@@ -1,0 +1,46 @@
+"""Tests for the Figure-2 experiment (ideal vs measured throughput)."""
+
+import pytest
+
+from repro.core.params import Rate
+from repro.experiments.two_nodes import format_figure2, run_figure2
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_figure2(rate=Rate.MBPS_11, duration_s=1.5, warmup_s=0.2, seed=3)
+
+
+class TestFigure2:
+    def test_four_panels(self, results):
+        panels = {(r.transport, r.rts_cts) for r in results}
+        assert panels == {
+            ("udp", False),
+            ("udp", True),
+            ("tcp", False),
+            ("tcp", True),
+        }
+
+    def test_udp_close_to_ideal(self, results):
+        for r in results:
+            if r.transport == "udp":
+                assert r.ratio == pytest.approx(1.0, abs=0.08)
+
+    def test_tcp_clearly_below_ideal(self, results):
+        for r in results:
+            if r.transport == "tcp":
+                assert 0.4 < r.ratio < 0.95
+
+    def test_rts_reduces_ideal_and_measured(self, results):
+        by_key = {(r.transport, r.rts_cts): r for r in results}
+        assert (
+            by_key[("udp", True)].ideal_mbps < by_key[("udp", False)].ideal_mbps
+        )
+        assert (
+            by_key[("udp", True)].measured_mbps
+            < by_key[("udp", False)].measured_mbps
+        )
+
+    def test_formatting(self, results):
+        text = format_figure2(results)
+        assert "UDP" in text and "TCP" in text and "ideal" in text

@@ -1,0 +1,171 @@
+"""Integration tests of the DCF state machine over a real PHY and medium."""
+
+import pytest
+
+from repro.core.params import MacParameters, Dot11bConfig, Rate
+from repro.core.throughput_model import ThroughputModel
+from repro.errors import ConfigurationError
+from repro.mac.dcf import AckPolicy, MacConfig
+from repro.mac.frames import BROADCAST
+from tests.util import build_mac_network, saturate
+
+
+class TestBasicExchange:
+    def test_single_msdu_is_delivered_and_acked(self):
+        net = build_mac_network([0, 20])
+        net[0].mac.enqueue("hello", dst=2, msdu_bytes=540)
+        net.sim.run(until_s=0.1)
+        assert net[1].received == [("hello", 1)]
+        assert net[0].sent_results == [("hello", 2, True)]
+        assert net[0].mac.counters.tx_success == 1
+        assert net[1].mac.counters.ack_tx == 1
+
+    def test_immediate_access_after_difs(self):
+        net = build_mac_network([0, 20])
+        net[0].mac.enqueue("x", dst=2, msdu_bytes=540)
+        net.sim.run(until_s=0.1)
+        # First frame on an idle medium: TX starts DIFS after enqueue,
+        # with no backoff.  tx_data trace fires at exactly 50 us.
+        assert net.tracer.count("mac.1.tx_data") == 1
+
+    def test_multiple_msdus_in_order(self):
+        net = build_mac_network([0, 20])
+        for i in range(10):
+            net[0].mac.enqueue(i, dst=2, msdu_bytes=540)
+        net.sim.run(until_s=0.5)
+        assert [m for m, _ in net[1].received] == list(range(10))
+        assert net[0].mac.counters.tx_success == 10
+
+    def test_broadcast_is_delivered_without_ack(self):
+        net = build_mac_network([0, 20, 40])
+        net[0].mac.enqueue("news", dst=BROADCAST, msdu_bytes=540)
+        net.sim.run(until_s=0.1)
+        assert net[1].received == [("news", 1)]
+        assert net[2].received == [("news", 1)]
+        assert net[1].mac.counters.ack_tx == 0
+        assert net[0].mac.counters.tx_success == 1
+
+    def test_unreachable_destination_retries_then_drops(self):
+        net = build_mac_network([0, 20])
+        net[0].mac.enqueue("void", dst=99, msdu_bytes=540)
+        net.sim.run(until_s=0.5)
+        mac = net[0].mac
+        assert mac.counters.tx_drops == 1
+        assert mac.counters.ack_timeouts == MacParameters().short_retry_limit + 1
+        assert net[0].sent_results == [("void", 99, False)]
+
+    def test_queue_overflow_is_counted(self):
+        net = build_mac_network([0, 20], max_queue_frames=2)
+        results = [net[0].mac.enqueue(i, dst=2, msdu_bytes=540) for i in range(5)]
+        assert results.count(False) >= 2
+        assert net[0].mac.counters.queue_drops >= 2
+
+    def test_zero_byte_msdu_rejected(self):
+        net = build_mac_network([0, 20])
+        with pytest.raises(ConfigurationError):
+            net[0].mac.enqueue("x", dst=2, msdu_bytes=0)
+
+    def test_station_cannot_use_broadcast_address(self):
+        with pytest.raises(ConfigurationError):
+            MacConfig(address=BROADCAST, data_rate=Rate.MBPS_2)
+
+
+class TestRtsCts:
+    def test_rts_cts_exchange_delivers(self):
+        net = build_mac_network([0, 20], rts_enabled=True)
+        net[0].mac.enqueue("guarded", dst=2, msdu_bytes=540)
+        net.sim.run(until_s=0.1)
+        assert net[1].received == [("guarded", 1)]
+        assert net[0].mac.counters.rts_tx == 1
+        assert net[1].mac.counters.cts_tx == 1
+        assert net[0].mac.counters.tx_success == 1
+
+    def test_rts_retried_when_peer_missing(self):
+        net = build_mac_network([0, 20], rts_enabled=True)
+        net[0].mac.enqueue("x", dst=99, msdu_bytes=540)
+        net.sim.run(until_s=0.5)
+        mac = net[0].mac
+        assert mac.counters.cts_timeouts == MacParameters().long_retry_limit + 1
+        assert mac.counters.tx_drops == 1
+        # The data frame itself never went out.
+        assert mac.counters.data_tx == 0
+
+    def test_third_station_defers_via_nav(self):
+        # S3 hears S1's RTS and S2's CTS (all within 40 m) and must not
+        # transmit during the protected exchange.
+        net = build_mac_network([0, 20, 40], rts_enabled=True)
+        net[0].mac.enqueue("protected", dst=2, msdu_bytes=1500)
+        # S3 wants to talk to S2 shortly after S1's RTS goes out.
+        net.sim.schedule_s(0.0003, net[2].mac.enqueue, "later", 2, 540)
+        net.sim.run(until_s=0.2)
+        assert ("protected", 1) in net[1].received
+        assert ("later", 3) in net[1].received
+        # Both transfers succeeded despite the overlap in time.
+        assert net[0].mac.counters.tx_success == 1
+        assert net[2].mac.counters.tx_success == 1
+
+
+class TestContention:
+    def test_two_saturated_stations_share_the_channel(self):
+        net = build_mac_network([0, 10, 20])
+        saturate(net, sender=0, receiver=1, msdu_bytes=540)
+        saturate(net, sender=2, receiver=1, msdu_bytes=540)
+        net.sim.run(until_s=2.0)
+        from_s1 = sum(1 for _, src in net[1].received if src == 1)
+        from_s3 = sum(1 for _, src in net[1].received if src == 3)
+        assert from_s1 > 100
+        assert from_s3 > 100
+        ratio = from_s1 / from_s3
+        assert 0.8 < ratio < 1.25
+
+    def test_collisions_are_resolved_by_backoff(self):
+        net = build_mac_network([0, 10, 20])
+        # Enqueue on both senders at the same instant: the first attempt
+        # may collide, but retries must eventually deliver both.
+        net[0].mac.enqueue("a", dst=2, msdu_bytes=540)
+        net[2].mac.enqueue("b", dst=2, msdu_bytes=540)
+        net.sim.run(until_s=0.5)
+        received = {m for m, _ in net[1].received}
+        assert received == {"a", "b"}
+
+
+class TestSaturationThroughputMatchesEquation1:
+    @pytest.mark.parametrize("rate", [Rate.MBPS_11, Rate.MBPS_2])
+    def test_udp_saturation_close_to_analytic_bound(self, rate):
+        net = build_mac_network([0, 10], data_rate=rate)
+        saturate(net, sender=0, receiver=1, msdu_bytes=540)
+        horizon_s = 2.0
+        net.sim.run(until_s=horizon_s)
+        delivered = len(net[1].received)
+        throughput_bps = delivered * 512 * 8 / horizon_s
+        expected = ThroughputModel().max_throughput_bps(512, rate, rts_cts=False)
+        assert throughput_bps == pytest.approx(expected, rel=0.04)
+
+    def test_rts_cts_saturation_close_to_equation_2(self):
+        net = build_mac_network([0, 10], data_rate=Rate.MBPS_11, rts_enabled=True)
+        saturate(net, sender=0, receiver=1, msdu_bytes=540)
+        horizon_s = 2.0
+        net.sim.run(until_s=horizon_s)
+        throughput_bps = len(net[1].received) * 512 * 8 / horizon_s
+        expected = ThroughputModel().max_throughput_bps(512, Rate.MBPS_11, rts_cts=True)
+        assert throughput_bps == pytest.approx(expected, rel=0.04)
+
+
+class TestDuplicateFiltering:
+    def test_duplicate_data_is_acked_but_not_redelivered(self):
+        # Put the receiver where it can hear the sender but its ACKs are
+        # suppressed by a busy channel... simpler: force duplicates by
+        # making a jammer kill ACKs is involved; instead check the dup
+        # cache directly through retransmission after a *lost* ACK.
+        # With ALWAYS ack policy and an interferer positioned to destroy
+        # only ACKs this is hard to arrange deterministically, so this
+        # test drives the receiver's handler directly.
+        net = build_mac_network([0, 20])
+        receiver = net[1].mac
+        from repro.mac.frames import DataFrame
+
+        frame = DataFrame(src=7, dst=2, duration_us=0.0, seq=5, msdu="m", msdu_bytes=540)
+        receiver._handle_data(frame)
+        receiver._handle_data(frame)
+        assert net[1].received == [("m", 7)]
+        assert receiver.counters.rx_duplicates == 1

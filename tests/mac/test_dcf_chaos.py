@@ -1,0 +1,103 @@
+"""Property-based chaos testing of the DCF over random scenarios.
+
+Hypothesis generates arbitrary topologies and traffic patterns; the
+invariants below must hold for every one of them:
+
+* the state machine never raises (no impossible transitions);
+* every delivered MSDU was actually sent by somebody (no invention);
+* no receiver delivers the same (src, msdu) twice (duplicate filter);
+* MAC accounting is conserved: successes + drops never exceed accepted
+  MSDUs, and everything accepted is eventually accounted for.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.params import ALL_RATES
+from repro.mac.frames import BROADCAST
+from tests.util import build_mac_network
+
+scenario = st.fixed_dictionaries(
+    {
+        "positions": st.lists(
+            st.floats(min_value=0.0, max_value=160.0),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        ),
+        "rate": st.sampled_from(ALL_RATES),
+        "rts": st.booleans(),
+        "sigma": st.sampled_from([0.0, 3.0]),
+        "frag": st.sampled_from([None, 300]),
+        "traffic": st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # sender index
+                st.integers(min_value=0, max_value=4),  # dst index (4=bcast)
+                st.integers(min_value=40, max_value=1500),  # msdu bytes
+                st.integers(min_value=0, max_value=50_000_000),  # t offset ns
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        "seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(config=scenario)
+def test_random_scenarios_preserve_invariants(config):
+    net = build_mac_network(
+        config["positions"],
+        data_rate=config["rate"],
+        rts_enabled=config["rts"],
+        seed=config["seed"],
+        fast_sigma_db=config["sigma"],
+        fragmentation_threshold_bytes=config["frag"],
+    )
+    stations = net.stations
+    sent: list[tuple[int, object]] = []  # (sender address, msdu)
+    accepted_per_station = [0] * len(stations)
+    for item, (sender_index, dst_index, msdu_bytes, offset_ns) in enumerate(
+        config["traffic"]
+    ):
+        sender_index %= len(stations)
+        if dst_index >= len(stations):
+            dst = BROADCAST
+        else:
+            dst = stations[dst_index].mac.address
+        if dst == stations[sender_index].mac.address:
+            continue  # no self-traffic
+        msdu = f"m{item}"
+
+        def enqueue(i=sender_index, m=msdu, d=dst, b=msdu_bytes):
+            if stations[i].mac.enqueue(m, d, b):
+                accepted_per_station[i] += 1
+                sent.append((stations[i].mac.address, m))
+
+        net.sim.schedule(offset_ns, enqueue)
+    # Run long enough for every retry ladder to resolve.
+    net.sim.run(until_s=20.0)
+    net.sim.run()
+
+    sent_msdus = {msdu for _, msdu in sent}
+    for station in stations:
+        # No invented deliveries, and sources are truthful.
+        for msdu, src in station.received:
+            assert msdu in sent_msdus
+            assert (src, msdu) in sent
+        # Duplicate filtering: an MSDU object arrives at most once per
+        # receiver.
+        delivered = [msdu for msdu, _ in station.received]
+        assert len(delivered) == len(set(delivered))
+    for index, station in enumerate(stations):
+        counters = station.mac.counters
+        # Conservation: every accepted MSDU ends as success or drop,
+        # never both, never more.
+        assert counters.tx_success + counters.tx_drops == accepted_per_station[
+            index
+        ]
+        assert not station.mac.busy

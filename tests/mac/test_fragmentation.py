@@ -1,0 +1,122 @@
+"""Tests for MAC-level fragmentation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.params import Rate
+from repro.errors import ConfigurationError
+from repro.mac.dcf import MacConfig, split_msdu
+from repro.mac.frames import BROADCAST
+from tests.util import build_mac_network
+
+
+class TestSplitMsdu:
+    def test_below_threshold_single_fragment(self):
+        assert split_msdu(500, 1000) == [500]
+
+    def test_exact_threshold_single_fragment(self):
+        assert split_msdu(1000, 1000) == [1000]
+
+    def test_split_with_remainder(self):
+        assert split_msdu(1052, 500) == [500, 500, 52]
+
+    def test_split_exact_multiple(self):
+        assert split_msdu(1000, 500) == [500, 500]
+
+    @given(
+        msdu=st.integers(min_value=1, max_value=10_000),
+        threshold=st.integers(min_value=64, max_value=2346),
+    )
+    def test_fragments_conserve_bytes(self, msdu, threshold):
+        sizes = split_msdu(msdu, threshold)
+        assert sum(sizes) == msdu
+        assert all(0 < size <= threshold for size in sizes)
+        # Only the last fragment may be short.
+        assert all(size == threshold for size in sizes[:-1])
+
+
+class TestFragmentedTransfer:
+    def test_large_msdu_delivered_once(self):
+        net = build_mac_network([0, 20], fragmentation_threshold_bytes=400)
+        net[0].mac.enqueue("big", dst=2, msdu_bytes=1500)
+        net.sim.run(until_s=0.2)
+        assert net[1].received == [("big", 1)]
+        # 1500 B at 400 B threshold: 4 fragments, each ACKed.
+        assert net[0].mac.counters.data_tx == 4
+        assert net[1].mac.counters.ack_tx == 4
+        assert net[0].mac.counters.fragments_tx == 3  # non-final fragments
+        assert net[0].mac.counters.tx_success == 1
+
+    def test_small_msdu_not_fragmented(self):
+        net = build_mac_network([0, 20], fragmentation_threshold_bytes=1000)
+        net[0].mac.enqueue("small", dst=2, msdu_bytes=500)
+        net.sim.run(until_s=0.2)
+        assert net[1].received == [("small", 1)]
+        assert net[0].mac.counters.data_tx == 1
+
+    def test_broadcast_never_fragments(self):
+        net = build_mac_network([0, 20], fragmentation_threshold_bytes=400)
+        net[0].mac.enqueue("bcast", dst=BROADCAST, msdu_bytes=1500)
+        net.sim.run(until_s=0.2)
+        assert net[1].received == [("bcast", 1)]
+        assert net[0].mac.counters.data_tx == 1
+
+    def test_fragments_with_rts_cts(self):
+        net = build_mac_network(
+            [0, 20], rts_enabled=True, fragmentation_threshold_bytes=500
+        )
+        net[0].mac.enqueue("guarded", dst=2, msdu_bytes=1500)
+        net.sim.run(until_s=0.2)
+        assert net[1].received == [("guarded", 1)]
+        # One RTS protects the burst; fragments chain via NAV.
+        assert net[0].mac.counters.rts_tx == 1
+        assert net[0].mac.counters.data_tx == 3
+
+    def test_many_fragmented_msdus_in_order(self):
+        net = build_mac_network([0, 20], fragmentation_threshold_bytes=300)
+        for index in range(5):
+            net[0].mac.enqueue(index, dst=2, msdu_bytes=1000)
+        net.sim.run(until_s=1.0)
+        assert [m for m, _ in net[1].received] == list(range(5))
+
+    def test_third_station_defers_through_fragment_burst(self):
+        # The NAV chain must hold a contender off for the whole burst.
+        net = build_mac_network([0, 20, 40], fragmentation_threshold_bytes=400)
+        net[0].mac.enqueue("burst", dst=2, msdu_bytes=2000)
+        net.sim.schedule_s(0.001, net[2].mac.enqueue, "later", 2, 300)
+        net.sim.run(until_s=0.5)
+        received = [m for m, _ in net[1].received]
+        assert set(received) == {"burst", "later"}
+        assert net[0].mac.counters.tx_success == 1
+        assert net[2].mac.counters.tx_success == 1
+
+    def test_unreachable_destination_drops_whole_msdu(self):
+        net = build_mac_network([0, 20], fragmentation_threshold_bytes=400)
+        net[0].mac.enqueue("void", dst=99, msdu_bytes=1200)
+        net.sim.run(until_s=1.0)
+        assert net[0].mac.counters.tx_drops == 1
+        assert net[0].sent_results == [("void", 99, False)]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            MacConfig(
+                address=1,
+                data_rate=Rate.MBPS_2,
+                fragmentation_threshold_bytes=10,
+            )
+
+    def test_throughput_overhead_of_fragmentation(self):
+        """Fragmenting costs airtime: more PLCP/header/ACK per MSDU."""
+        from tests.util import saturate
+
+        def throughput(threshold):
+            net = build_mac_network(
+                [0, 10],
+                data_rate=Rate.MBPS_11,
+                fragmentation_threshold_bytes=threshold,
+            )
+            saturate(net, 0, 1, msdu_bytes=1052)
+            net.sim.run(until_s=1.5)
+            return len(net[1].received)
+
+        assert throughput(None) > throughput(400) * 1.2

@@ -1,0 +1,69 @@
+"""Tests for the NAV (virtual carrier sense)."""
+
+from repro.mac.nav import Nav
+from repro.sim.engine import Simulator
+
+
+def make_nav():
+    sim = Simulator()
+    expirations = []
+    nav = Nav(sim, lambda: expirations.append(sim.now_ns))
+    return sim, nav, expirations
+
+
+class TestNav:
+    def test_idle_initially(self):
+        _, nav, _ = make_nav()
+        assert not nav.busy
+
+    def test_update_sets_reservation(self):
+        sim, nav, expirations = make_nav()
+        assert nav.update(1_000_000)
+        assert nav.busy
+        sim.run()
+        assert not nav.busy
+        assert expirations == [1_000_000]
+
+    def test_nav_only_extends_forward(self):
+        _, nav, _ = make_nav()
+        nav.update(1_000_000)
+        assert not nav.update(500_000)
+        assert nav.until_ns == 1_000_000
+
+    def test_longer_update_wins(self):
+        sim, nav, expirations = make_nav()
+        nav.update(1_000_000)
+        nav.update(2_000_000)
+        sim.run()
+        # Only the later expiry fires.
+        assert expirations == [2_000_000]
+
+    def test_update_in_the_past_is_ignored(self):
+        sim, nav, _ = make_nav()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        assert not nav.update(50)
+        assert not nav.busy
+
+    def test_reset_clears_and_notifies(self):
+        sim, nav, expirations = make_nav()
+        nav.update(1_000_000)
+        nav.reset()
+        assert not nav.busy
+        assert expirations == [0]
+        sim.run()
+        assert expirations == [0]  # the old timer must not fire again
+
+    def test_reset_when_idle_is_silent(self):
+        sim, nav, expirations = make_nav()
+        nav.reset()
+        assert expirations == []
+
+    def test_busy_transitions_at_expiry_instant(self):
+        sim, nav, _ = make_nav()
+        nav.update(1_000)
+        seen = []
+        sim.schedule(999, lambda: seen.append(nav.busy))
+        sim.schedule(1_001, lambda: seen.append(nav.busy))
+        sim.run()
+        assert seen == [True, False]

@@ -1,0 +1,64 @@
+"""Tests for the BER models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.params import ALL_RATES, Rate
+from repro.errors import ConfigurationError
+from repro.phy import ber
+
+
+class TestBerModels:
+    def test_ber_decreases_with_sinr(self):
+        for rate in ALL_RATES:
+            low = ber.ber(rate, 0.5)
+            high = ber.ber(rate, 50.0)
+            assert high < low
+
+    def test_faster_rates_have_higher_ber_at_same_sinr(self):
+        # At a fixed channel SINR, the higher rate both loses processing
+        # gain and uses a denser modulation.
+        sinr = 2.0
+        bers = [ber.ber(rate, sinr) for rate in ALL_RATES]
+        assert bers == sorted(bers)
+
+    def test_ber_bounded(self):
+        for rate in ALL_RATES:
+            for sinr in (0.0, 0.1, 1.0, 100.0, 1e9):
+                value = ber.ber(rate, sinr)
+                assert 0.0 <= value <= 0.5
+
+    def test_processing_gain(self):
+        assert ber.ebn0_from_sinr(1.0, Rate.MBPS_1) == pytest.approx(22.0)
+        assert ber.ebn0_from_sinr(1.0, Rate.MBPS_11) == pytest.approx(2.0)
+
+    def test_negative_sinr_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ber.ebn0_from_sinr(-1.0, Rate.MBPS_1)
+
+
+class TestFrameSuccess:
+    def test_zero_bits_always_succeed(self):
+        assert ber.frame_success_probability(Rate.MBPS_11, 0.01, 0) == 1.0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ber.frame_success_probability(Rate.MBPS_11, 1.0, -1)
+
+    def test_more_bits_lower_success(self):
+        short = ber.frame_success_probability(Rate.MBPS_2, 1.0, 100)
+        long = ber.frame_success_probability(Rate.MBPS_2, 1.0, 10_000)
+        assert long < short
+
+    def test_high_sinr_gives_near_certainty(self):
+        p = ber.frame_success_probability(Rate.MBPS_11, 1000.0, 12_000)
+        assert p > 0.999
+
+    @given(
+        rate=st.sampled_from(ALL_RATES),
+        sinr=st.floats(min_value=0.0, max_value=1e6),
+        bits=st.integers(min_value=0, max_value=20_000),
+    )
+    def test_probability_in_unit_interval(self, rate, sinr, bits):
+        p = ber.frame_success_probability(rate, sinr, bits)
+        assert 0.0 <= p <= 1.0

@@ -1,0 +1,83 @@
+"""Tests for transmission plans."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.airtime import AirtimeCalculator
+from repro.core.params import ALL_RATES, Dot11bConfig, HeaderRatePolicy, Rate
+from repro.errors import ConfigurationError
+from repro.phy.plans import TransmissionPlan, Segment, control_frame_plan, data_frame_plan
+
+
+@pytest.fixture
+def airtime():
+    return AirtimeCalculator()
+
+
+class TestDataFramePlan:
+    def test_three_segments(self, airtime):
+        plan = data_frame_plan(540, Rate.MBPS_11, airtime)
+        assert [s.name for s in plan.segments] == ["plcp", "mac-header", "payload"]
+
+    def test_duration_matches_airtime_calculator(self, airtime):
+        for rate in ALL_RATES:
+            plan = data_frame_plan(540, rate, airtime)
+            expected_us = airtime.data_frame_us(540, rate)
+            assert plan.duration_ns == pytest.approx(expected_us * 1000, abs=2)
+
+    def test_plcp_at_1_mbps(self, airtime):
+        plan = data_frame_plan(540, Rate.MBPS_11, airtime)
+        assert plan.segments[0].rate is Rate.MBPS_1
+        assert plan.preamble_end_ns == 192_000
+
+    def test_header_rate_follows_policy(self, airtime):
+        plan = data_frame_plan(540, Rate.MBPS_11, airtime)
+        assert plan.segments[1].rate is Rate.MBPS_2
+
+        standard = AirtimeCalculator(
+            Dot11bConfig(header_rate_policy=HeaderRatePolicy.DATA_RATE)
+        )
+        plan = data_frame_plan(540, Rate.MBPS_11, standard)
+        assert plan.segments[1].rate is Rate.MBPS_11
+
+    def test_data_rate_property(self, airtime):
+        plan = data_frame_plan(540, Rate.MBPS_5_5, airtime)
+        assert plan.data_rate is Rate.MBPS_5_5
+
+    def test_segment_offsets_tile_the_frame(self, airtime):
+        plan = data_frame_plan(1052, Rate.MBPS_2, airtime)
+        offsets = plan.segment_offsets_ns()
+        assert offsets[0][0] == 0
+        for (_, end_a, _), (start_b, _, _) in zip(offsets, offsets[1:]):
+            assert end_a == start_b
+        assert offsets[-1][1] == plan.duration_ns
+
+
+class TestControlFramePlan:
+    def test_ack_plan_duration(self, airtime):
+        plan = control_frame_plan("ack", 112, airtime)
+        # 192 us PLCP + 56 us body at 2 Mbps.
+        assert plan.duration_ns == 248_000
+
+    def test_rate_override(self, airtime):
+        plan = control_frame_plan("rts", 160, airtime, rate=Rate.MBPS_1)
+        assert plan.duration_ns == (192 + 160) * 1000
+
+    def test_rejects_empty_body(self, airtime):
+        with pytest.raises(ConfigurationError):
+            control_frame_plan("bad", 0, airtime)
+
+
+class TestPlanValidation:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransmissionPlan(segments=())
+
+    @given(
+        msdu=st.integers(min_value=0, max_value=2346),
+        rate=st.sampled_from(ALL_RATES),
+    )
+    def test_durations_always_positive_and_consistent(self, msdu, rate):
+        plan = data_frame_plan(msdu, rate, AirtimeCalculator())
+        assert plan.duration_ns > 0
+        assert plan.duration_ns == sum(s.duration_ns for s in plan.segments)

@@ -1,0 +1,109 @@
+"""Tests for radio parameter presets and range calibration."""
+
+import pytest
+
+from repro.channel.propagation import LogDistancePathLoss, TwoRayGroundPathLoss
+from repro.channel.ranges import compute_range_table
+from repro.core.params import ALL_RATES, Rate
+from repro.errors import ConfigurationError
+from repro.phy.radio import (
+    CALIBRATED_CS_RANGE_M,
+    CALIBRATED_DATA_RANGES_M,
+    RadioParameters,
+)
+
+
+class TestCalibratedPreset:
+    def test_covers_all_rates(self):
+        radio = RadioParameters.calibrated()
+        for rate in ALL_RATES:
+            assert rate in radio.sensitivity_dbm
+
+    def test_sensitivity_monotone_in_rate(self):
+        # Faster modulations need more power: sensitivity rises with rate.
+        radio = RadioParameters.calibrated()
+        ordered = [radio.sensitivity_dbm[r] for r in ALL_RATES]
+        assert ordered == sorted(ordered)
+
+    def test_ranges_match_table3_bands(self):
+        """The calibrated radio reproduces the paper's Table 3."""
+        radio = RadioParameters.calibrated()
+        table = compute_range_table(
+            LogDistancePathLoss.calibrated(),
+            radio.tx_power_dbm,
+            radio.sensitivity_dbm,
+            radio.cs_threshold_dbm,
+        )
+        # Paper Table 3: 30 / 70 / 90-100 / 110-130 m.
+        assert table.data_tx_range_m[Rate.MBPS_11] == pytest.approx(31.0, abs=1.0)
+        assert table.data_tx_range_m[Rate.MBPS_5_5] == pytest.approx(69.0, abs=1.0)
+        assert 90.0 <= table.data_tx_range_m[Rate.MBPS_2] <= 100.0
+        assert 110.0 <= table.data_tx_range_m[Rate.MBPS_1] <= 130.0
+
+    def test_control_ranges_match_table3(self):
+        radio = RadioParameters.calibrated()
+        table = compute_range_table(
+            LogDistancePathLoss.calibrated(),
+            radio.tx_power_dbm,
+            radio.sensitivity_dbm,
+            radio.cs_threshold_dbm,
+        )
+        # Paper Table 3: control ranges ~90 m (2 Mbps) and ~120 m (1 Mbps).
+        assert table.control_tx_range_m[Rate.MBPS_2] == pytest.approx(92.0, abs=4.0)
+        assert table.control_tx_range_m[Rate.MBPS_1] == pytest.approx(115.0, abs=8.0)
+
+    def test_cs_range_is_calibration_target(self):
+        radio = RadioParameters.calibrated()
+        table = compute_range_table(
+            LogDistancePathLoss.calibrated(),
+            radio.tx_power_dbm,
+            radio.sensitivity_dbm,
+            radio.cs_threshold_dbm,
+        )
+        assert table.carrier_sense_range_m == pytest.approx(
+            CALIBRATED_CS_RANGE_M, abs=1.0
+        )
+
+    def test_ranges_shorter_than_simulator_folklore(self):
+        """Paper §3.2: measured ranges are 2-3x below the ns-2 250 m."""
+        for rate, range_m in CALIBRATED_DATA_RANGES_M.items():
+            assert range_m < 250.0 / 2
+
+
+class TestNs2Preset:
+    def test_reproduces_250m_tx_range(self):
+        radio = RadioParameters.ns2_default()
+        table = compute_range_table(
+            TwoRayGroundPathLoss(),
+            radio.tx_power_dbm,
+            radio.sensitivity_dbm,
+            radio.cs_threshold_dbm,
+        )
+        for rate in ALL_RATES:
+            assert table.data_tx_range_m[rate] == pytest.approx(250.0, abs=1.0)
+        assert table.carrier_sense_range_m == pytest.approx(550.0, abs=1.0)
+
+    def test_same_range_at_every_rate(self):
+        radio = RadioParameters.ns2_default()
+        values = set(radio.sensitivity_dbm.values())
+        assert len(values) == 1
+
+
+class TestValidation:
+    def test_missing_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadioParameters(
+                tx_power_dbm=15.0,
+                sensitivity_dbm={Rate.MBPS_11: -77.0},
+                cs_threshold_dbm=-95.0,
+                preamble_lock_dbm=-94.0,
+            )
+
+    def test_rx_power_helper(self):
+        radio = RadioParameters.calibrated()
+        propagation = LogDistancePathLoss.calibrated()
+        at_10m = radio.rx_power_dbm_at(propagation, 10.0)
+        at_100m = radio.rx_power_dbm_at(propagation, 100.0)
+        assert at_10m > at_100m
+        # One decade at exponent 3.5 = 35 dB.
+        assert at_10m - at_100m == pytest.approx(35.0)

@@ -1,0 +1,142 @@
+"""Tests for the reception models."""
+
+import random
+
+import pytest
+
+from repro.core.airtime import AirtimeCalculator
+from repro.core.params import Rate
+from repro.errors import ConfigurationError
+from repro.phy.plans import data_frame_plan
+from repro.phy.radio import RadioParameters
+from repro.phy.reception import (
+    BerReception,
+    ReceptionContext,
+    ReceptionOutcome,
+    SinrThresholdReception,
+)
+from repro.units import dbm_to_mw
+
+
+@pytest.fixture
+def radio():
+    return RadioParameters.calibrated()
+
+
+@pytest.fixture
+def plan():
+    return data_frame_plan(540, Rate.MBPS_11, AirtimeCalculator())
+
+
+def make_context(plan, rx_power_dbm, radio, timeline=None):
+    return ReceptionContext(
+        plan=plan,
+        rx_power_dbm=rx_power_dbm,
+        noise_mw=dbm_to_mw(radio.noise_floor_dbm),
+        interference_timeline=timeline if timeline is not None else ((0, 0.0),),
+    )
+
+
+class TestContext:
+    def test_timeline_must_start_at_zero(self, plan, radio):
+        with pytest.raises(ConfigurationError):
+            make_context(plan, -60.0, radio, timeline=((5, 0.0),))
+
+    def test_timeline_must_not_be_empty(self, plan, radio):
+        with pytest.raises(ConfigurationError):
+            ReceptionContext(plan, -60.0, 1e-10, ())
+
+    def test_interference_intervals_clip_to_window(self, plan, radio):
+        ctx = make_context(
+            plan, -60.0, radio, timeline=((0, 0.0), (1000, 5.0), (2000, 0.0))
+        )
+        intervals = ctx.interference_intervals(500, 1500)
+        assert intervals == [(500, 1000, 0.0), (1000, 1500, 5.0)]
+
+    def test_last_entry_extends_to_end(self, plan, radio):
+        ctx = make_context(plan, -60.0, radio, timeline=((0, 2.0),))
+        intervals = ctx.interference_intervals(0, plan.duration_ns)
+        assert intervals == [(0, plan.duration_ns, 2.0)]
+
+
+class TestSinrThresholdReception:
+    def test_clean_strong_frame_decodes(self, plan, radio):
+        model = SinrThresholdReception()
+        ctx = make_context(plan, -60.0, radio)
+        assert model.evaluate(ctx, radio, random.Random(0)) is ReceptionOutcome.OK
+
+    def test_weak_payload_fails_sensitivity(self, plan, radio):
+        # Strong enough for PLCP (1 Mbps) and header (2 Mbps) but below
+        # the 11 Mbps payload sensitivity: the frame is followed but lost.
+        model = SinrThresholdReception()
+        weak = radio.sensitivity_dbm[Rate.MBPS_11] - 3.0
+        ctx = make_context(plan, weak, radio)
+        outcome = model.evaluate(ctx, radio, random.Random(0))
+        assert outcome is ReceptionOutcome.BELOW_SENSITIVITY
+
+    def test_interference_burst_kills_frame(self, plan, radio):
+        model = SinrThresholdReception()
+        signal_mw = dbm_to_mw(-60.0)
+        # Interference as strong as the signal arrives mid-payload.
+        ctx = make_context(
+            plan,
+            -60.0,
+            radio,
+            timeline=((0, 0.0), (plan.preamble_end_ns + 1000, signal_mw)),
+        )
+        outcome = model.evaluate(ctx, radio, random.Random(0))
+        assert outcome is ReceptionOutcome.SINR_FAILURE
+
+    def test_weak_interference_is_harmless(self, plan, radio):
+        model = SinrThresholdReception()
+        # 40 dB below the signal: SINR stays far above any threshold.
+        ctx = make_context(
+            plan, -60.0, radio, timeline=((0, dbm_to_mw(-100.0)),)
+        )
+        assert model.evaluate(ctx, radio, random.Random(0)) is ReceptionOutcome.OK
+
+    def test_interference_ending_before_payload_is_forgiven(self, plan, radio):
+        model = SinrThresholdReception()
+        strong = dbm_to_mw(-55.0)
+        # A blast during the PLCP only: the PLCP SINR check fails, so the
+        # frame is lost.  (The transceiver would not even have locked, but
+        # the model must be consistent on its own.)
+        ctx = make_context(
+            plan, -60.0, radio, timeline=((0, strong), (plan.preamble_end_ns, 0.0))
+        )
+        assert (
+            model.evaluate(ctx, radio, random.Random(0))
+            is ReceptionOutcome.SINR_FAILURE
+        )
+
+
+class TestBerReception:
+    def test_strong_frame_almost_always_decodes(self, plan, radio):
+        model = BerReception()
+        rng = random.Random(1)
+        ctx = make_context(plan, -60.0, radio)
+        outcomes = [model.evaluate(ctx, radio, rng) for _ in range(50)]
+        assert all(o is ReceptionOutcome.OK for o in outcomes)
+
+    def test_interference_equal_to_signal_mostly_fails(self, plan, radio):
+        model = BerReception()
+        rng = random.Random(1)
+        ctx = make_context(plan, -60.0, radio, timeline=((0, dbm_to_mw(-60.0)),))
+        outcomes = [model.evaluate(ctx, radio, rng) for _ in range(50)]
+        failures = sum(o is ReceptionOutcome.BER_FAILURE for o in outcomes)
+        assert failures > 40
+
+    def test_loss_rate_monotone_in_interference(self, plan, radio):
+        model = BerReception()
+
+        def loss_rate(interference_dbm):
+            rng = random.Random(7)
+            ctx = make_context(
+                plan, -60.0, radio, timeline=((0, dbm_to_mw(interference_dbm)),)
+            )
+            outcomes = [model.evaluate(ctx, radio, rng) for _ in range(200)]
+            return sum(not o.success for o in outcomes) / len(outcomes)
+
+        rates = [loss_rate(dbm) for dbm in (-75.0, -71.0, -67.0, -63.0)]
+        assert rates[0] <= rates[-1]
+        assert rates[-1] > 0.5

@@ -1,0 +1,193 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(300, fired.append, "c")
+        sim.schedule(100, fired.append, "a")
+        sim.schedule(200, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcde":
+            sim.schedule(100, fired.append, label)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(150, lambda: seen.append(sim.now_ns))
+        sim.run()
+        assert seen == [150]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(50, lambda: fired.append("second"))
+
+        sim.schedule(100, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now_ns == 150
+
+    def test_schedule_s_converts_seconds(self):
+        sim = Simulator()
+        sim.schedule_s(1.5, lambda: None)
+        sim.run()
+        assert sim.now_ns == 1_500_000_000
+        assert sim.now_s == pytest.approx(1.5)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(100, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(100, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        handle = sim.schedule(200, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_clear_drops_everything(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "x")
+        sim.clear()
+        sim.run()
+        assert fired == []
+
+
+class TestRunControl:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "a")
+        sim.schedule(300, fired.append, "b")
+        sim.run(until_ns=200)
+        assert fired == ["a"]
+        assert sim.now_ns == 200
+
+    def test_until_preserves_later_events_for_next_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "a")
+        sim.schedule(300, fired.append, "b")
+        sim.run(until_ns=200)
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_event_exactly_at_horizon_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(200, fired.append, "edge")
+        sim.run(until_ns=200)
+        assert fired == ["edge"]
+
+    def test_until_s_form(self):
+        sim = Simulator()
+        sim.run(until_s=2.0)
+        assert sim.now_s == pytest.approx(2.0)
+
+    def test_both_horizons_rejected(self):
+        with pytest.raises(SchedulingError):
+            Simulator().run(until_ns=10, until_s=1.0)
+
+    def test_horizon_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.run(until_ns=50)
+
+    def test_stop_from_inside_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, lambda: (fired.append("a"), sim.stop()))
+        sim.schedule(200, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(100 + i, fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+
+class TestOrderingProperty:
+    @given(delays=st.lists(st.integers(min_value=0, max_value=10_000), max_size=60))
+    def test_fire_times_are_sorted(self, delays):
+        sim = Simulator()
+        fire_times = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fire_times.append(sim.now_ns))
+        sim.run()
+        assert fire_times == sorted(fire_times)
+        assert len(fire_times) == len(delays)
+
+    @given(
+        delays=st.lists(
+            st.integers(min_value=0, max_value=1000), min_size=2, max_size=40
+        ),
+        cancel_index=st.integers(min_value=0, max_value=39),
+    )
+    def test_cancelling_one_event_leaves_others(self, delays, cancel_index):
+        if cancel_index >= len(delays):
+            cancel_index = len(delays) - 1
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(delay, fired.append, i) for i, delay in enumerate(delays)
+        ]
+        handles[cancel_index].cancel()
+        sim.run()
+        assert set(fired) == set(range(len(delays))) - {cancel_index}

@@ -1,0 +1,41 @@
+"""Tests for reproducible named random streams."""
+
+from repro.sim.rng import RngManager
+
+
+class TestRngManager:
+    def test_same_seed_same_draws(self):
+        a = RngManager(42).stream("backoff")
+        b = RngManager(42).stream("backoff")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_give_different_draws(self):
+        manager = RngManager(42)
+        xs = [manager.stream("backoff").random() for _ in range(5)]
+        ys = [manager.stream("shadowing").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_different_seeds_give_different_draws(self):
+        a = RngManager(1).stream("s")
+        b = RngManager(2).stream("s")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_stream_is_cached(self):
+        manager = RngManager(7)
+        assert manager.stream("x") is manager.stream("x")
+
+    def test_adding_consumer_does_not_perturb_existing_stream(self):
+        lone = RngManager(42)
+        draws_alone = [lone.stream("a").random() for _ in range(5)]
+        shared = RngManager(42)
+        shared.stream("b").random()  # a second consumer appears
+        draws_shared = [shared.stream("a").random() for _ in range(5)]
+        assert draws_alone == draws_shared
+
+    def test_fork_is_deterministic_and_independent(self):
+        base = RngManager(42)
+        fork1 = base.fork("rep1")
+        fork1_again = RngManager(42).fork("rep1")
+        assert fork1.master_seed == fork1_again.master_seed
+        assert fork1.master_seed != base.master_seed
+        assert fork1.master_seed != base.fork("rep2").master_seed

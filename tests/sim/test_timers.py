@@ -1,0 +1,86 @@
+"""Tests for restartable timers."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now_ns), name="t")
+        timer.start(500)
+        sim.run()
+        assert fired == [500]
+        assert timer.name == "t"
+
+    def test_not_running_after_fire(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.start(100)
+        assert timer.running
+        sim.run()
+        assert not timer.running
+        assert timer.expiry_ns is None
+
+    def test_cancel_prevents_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, fired.append)
+        timer.start(100, "x")
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_when_idle_is_safe(self):
+        Timer(Simulator(), lambda: None).cancel()
+
+    def test_restart_supersedes_previous_schedule(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, fired.append)
+        timer.start(100, "early")
+        timer.start(300, "late")
+        sim.run()
+        assert fired == ["late"]
+        assert sim.now_ns == 300
+
+    def test_restart_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def on_fire(count):
+            fired.append(sim.now_ns)
+            if count > 0:
+                timer.start(100, count - 1)
+
+        timer = Timer(sim, on_fire)
+        timer.start(100, 2)
+        sim.run()
+        assert fired == [100, 200, 300]
+
+    def test_arguments_passed_per_start(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda a, b: fired.append((a, b)))
+        timer.start(10, 1, 2)
+        sim.run()
+        assert fired == [(1, 2)]
+
+    def test_expiry_ns_reports_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(50, lambda: None)
+        sim.run()
+        timer = Timer(sim, lambda: None)
+        timer.start(100)
+        assert timer.expiry_ns == 150
+
+    def test_start_s(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now_s))
+        timer.start_s(0.25)
+        sim.run()
+        assert fired == [pytest.approx(0.25)]

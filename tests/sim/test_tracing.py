@@ -1,0 +1,60 @@
+"""Tests for the tracing hub."""
+
+from repro.sim.tracing import Tracer
+
+
+class TestTracer:
+    def test_disabled_by_default_but_counts(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        tracer.emit(0, "mac", "tx_start", frame="data")
+        assert tracer.count("mac.tx_start") == 1
+
+    def test_subscriber_receives_records(self):
+        tracer = Tracer()
+        records = []
+        tracer.subscribe(records.append)
+        tracer.emit(100, "phy", "rx_drop", reason="collision")
+        assert len(records) == 1
+        assert records[0].time_ns == 100
+        assert records[0].category == "phy"
+        assert records[0].fields["reason"] == "collision"
+
+    def test_prefix_filtering(self):
+        tracer = Tracer()
+        mac_records = []
+        tracer.subscribe(mac_records.append, prefix="mac.")
+        tracer.emit(0, "mac", "tx_start")
+        tracer.emit(0, "phy", "rx_start")
+        assert [r.event for r in mac_records] == ["tx_start"]
+
+    def test_unsubscribe(self):
+        tracer = Tracer()
+        records = []
+        tracer.subscribe(records.append)
+        tracer.unsubscribe(records.append)
+        tracer.emit(0, "mac", "tx_start")
+        assert records == []
+        assert not tracer.enabled
+
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        for _ in range(3):
+            tracer.emit(0, "mac", "retry")
+        tracer.emit(0, "mac", "drop")
+        assert tracer.counters() == {"mac.retry": 3, "mac.drop": 1}
+
+    def test_reset_counters(self):
+        tracer = Tracer()
+        tracer.emit(0, "a", "b")
+        tracer.reset_counters()
+        assert tracer.count("a.b") == 0
+        assert tracer.counters() == {}
+
+    def test_record_str_is_readable(self):
+        tracer = Tracer()
+        records = []
+        tracer.subscribe(records.append)
+        tracer.emit(1_000_000, "mac", "ack", dst=3)
+        assert "mac.ack" in str(records[0])
+        assert "dst=3" in str(records[0])

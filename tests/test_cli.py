@@ -1,0 +1,56 @@
+"""Tests for the CLI front-end and the experiment registry."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ExperimentError
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        paper_artefacts = {
+            "table2",
+            "figure2",
+            "figure3",
+            "figure4",
+            "table3",
+            "figure7",
+            "figure9",
+            "figure11",
+            "figure12",
+        }
+        diagrams = {"figure1", "scenarios"}
+        extensions = {"arf", "delay", "link-lifetime"}
+        assert paper_artefacts | diagrams | extensions == set(EXPERIMENTS)
+
+    def test_unknown_name_raises_with_hint(self):
+        with pytest.raises(ExperimentError, match="figure2"):
+            get_experiment("figure99")
+
+    def test_every_experiment_has_description(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.description
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "figure12" in out
+
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "3.060" in out
+
+    def test_figure2_quick_run(self, capsys):
+        assert main(["figure2", "--duration", "0.6", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ideal" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["nonsense"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,88 @@
+"""Cross-cutting edge cases that don't belong to a single package."""
+
+import pytest
+
+from repro.apps.cbr import CbrSource
+from repro.apps.sink import UdpSink
+from repro.core.params import Rate
+from repro.experiments.common import build_network
+from repro.sim.engine import Simulator
+
+
+class TestEngineRobustness:
+    def test_exception_in_callback_propagates_but_leaves_engine_usable(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("callback failure")
+
+        fired = []
+        sim.schedule(100, boom)
+        sim.schedule(200, fired.append, "after")
+        with pytest.raises(RuntimeError):
+            sim.run()
+        # The failed event is consumed; the engine keeps going.
+        sim.run()
+        assert fired == ["after"]
+
+    def test_clock_never_goes_backwards_across_runs(self):
+        sim = Simulator()
+        sim.run(until_s=1.0)
+        stamps = []
+        sim.schedule_s(0.5, lambda: stamps.append(sim.now_s))
+        sim.run(until_s=3.0)
+        assert stamps == [pytest.approx(1.5)]
+        assert sim.now_s == pytest.approx(3.0)
+
+
+class TestTimestampedDelays:
+    def test_sink_records_one_way_delays(self):
+        net = build_network([0, 10], data_rate=Rate.MBPS_11, fast_sigma_db=0.0)
+        sink = UdpSink(net[1], port=5001)
+        CbrSource(
+            net[0],
+            dst=2,
+            dst_port=5001,
+            payload_bytes=512,
+            rate_bps=500_000,
+            timestamped=True,
+        )
+        net.run(1.0)
+        assert sink.delays.count > 40
+        # One-way delay of an uncontended frame: DIFS + frame + margin,
+        # well under 2 ms at 11 Mbps.
+        assert 0.0005 < sink.delays.mean_s < 0.002
+        # Sequences are still tracked from the tuple payloads.
+        assert sink.sequences == sorted(sink.sequences)
+
+
+class TestMixedTraffic:
+    def test_udp_and_tcp_coexist_on_one_link(self):
+        from repro.apps.bulk import BulkTcpReceiver, BulkTcpSender
+
+        net = build_network([0, 10], data_rate=Rate.MBPS_11, fast_sigma_db=0.0)
+        sink = UdpSink(net[1], port=5001, warmup_s=0.5)
+        CbrSource(
+            net[0], dst=2, dst_port=5001, payload_bytes=512, rate_bps=800_000
+        )
+        receiver = BulkTcpReceiver(net[1], port=80, warmup_s=0.5)
+        BulkTcpSender(net[0], dst=2, dst_port=80)
+        net.run(3.0)
+        udp_mbps = sink.throughput_bps(3.0) / 1e6
+        tcp_mbps = receiver.throughput_bps(3.0) / 1e6
+        # The rate-limited UDP flow keeps its offered rate; TCP absorbs
+        # the rest of the channel.
+        assert udp_mbps == pytest.approx(0.8, rel=0.1)
+        assert tcp_mbps > 1.0
+
+    def test_station_can_send_and_receive_concurrently(self):
+        net = build_network([0, 10], data_rate=Rate.MBPS_11, fast_sigma_db=0.0)
+        sink_at_1 = UdpSink(net[0], port=5001, warmup_s=0.2)
+        sink_at_2 = UdpSink(net[1], port=5001, warmup_s=0.2)
+        CbrSource(net[0], dst=2, dst_port=5001, payload_bytes=512,
+                  rate_bps=500_000)
+        CbrSource(net[1], dst=1, dst_port=5001, payload_bytes=512,
+                  rate_bps=500_000)
+        net.run(2.0)
+        assert sink_at_1.throughput_bps(2.0) == pytest.approx(500_000, rel=0.1)
+        assert sink_at_2.throughput_bps(2.0) == pytest.approx(500_000, rel=0.1)

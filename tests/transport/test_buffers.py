@@ -1,0 +1,135 @@
+"""Tests for TCP buffers and reassembly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, TransportError
+from repro.transport.tcp.buffers import ReceiveReassembly, SendBuffer
+
+
+class TestSendBuffer:
+    def test_write_and_ack_accounting(self):
+        buf = SendBuffer(limit_bytes=1000)
+        assert buf.write(600) == 600
+        assert buf.buffered_bytes == 600
+        assert buf.free_bytes == 400
+        buf.acked(200)
+        assert buf.buffered_bytes == 400
+        assert buf.free_bytes == 600
+
+    def test_write_clips_to_free_space(self):
+        buf = SendBuffer(limit_bytes=100)
+        assert buf.write(250) == 100
+        assert buf.write(10) == 0
+
+    def test_available_from_offset(self):
+        buf = SendBuffer()
+        buf.write(500)
+        assert buf.available_from(0) == 500
+        assert buf.available_from(200) == 300
+        assert buf.available_from(500) == 0
+
+    def test_ack_beyond_written_rejected(self):
+        buf = SendBuffer()
+        buf.write(10)
+        with pytest.raises(TransportError):
+            buf.acked(11)
+
+    def test_ack_is_monotone(self):
+        buf = SendBuffer()
+        buf.write(100)
+        buf.acked(50)
+        buf.acked(30)  # stale cumulative ack, ignored
+        assert buf.buffered_bytes == 50
+
+    def test_write_after_close_rejected(self):
+        buf = SendBuffer()
+        buf.close()
+        with pytest.raises(TransportError):
+            buf.write(1)
+
+    def test_negative_write_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SendBuffer().write(-1)
+
+
+class TestReceiveReassembly:
+    def test_in_order_delivery(self):
+        r = ReceiveReassembly()
+        newly, in_order = r.offer(0, 100)
+        assert (newly, in_order) == (100, True)
+        assert r.rcv_nxt == 100
+
+    def test_gap_buffers_out_of_order(self):
+        r = ReceiveReassembly()
+        newly, in_order = r.offer(100, 50)
+        assert (newly, in_order) == (0, False)
+        assert r.out_of_order_bytes == 50
+        newly, in_order = r.offer(0, 100)
+        assert (newly, in_order) == (150, True)
+        assert r.rcv_nxt == 150
+        assert r.out_of_order_bytes == 0
+
+    def test_duplicate_is_ignored(self):
+        r = ReceiveReassembly()
+        r.offer(0, 100)
+        newly, in_order = r.offer(0, 100)
+        assert (newly, in_order) == (0, False)
+
+    def test_overlapping_segment_counts_once(self):
+        r = ReceiveReassembly()
+        r.offer(0, 100)
+        newly, _ = r.offer(50, 100)
+        assert newly == 50
+        assert r.rcv_nxt == 150
+
+    def test_adjacent_out_of_order_segments_merge(self):
+        r = ReceiveReassembly()
+        r.offer(100, 50)
+        r.offer(150, 50)
+        newly, _ = r.offer(0, 100)
+        assert newly == 200
+
+    def test_non_zero_initial_rcv_nxt(self):
+        r = ReceiveReassembly(rcv_nxt=1)
+        newly, in_order = r.offer(1, 512)
+        assert (newly, in_order) == (512, True)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReceiveReassembly().offer(0, -1)
+
+    @given(
+        chunks=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),  # chunk index
+                st.integers(min_value=1, max_value=3),  # chunk count
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_rcv_nxt_is_monotone_and_bounded(self, chunks):
+        r = ReceiveReassembly()
+        chunk = 100
+        total_end = 0
+        previous = 0
+        for index, count in chunks:
+            r.offer(index * chunk, count * chunk)
+            total_end = max(total_end, (index + count) * chunk)
+            assert r.rcv_nxt >= previous
+            assert r.rcv_nxt <= total_end
+            previous = r.rcv_nxt
+
+    @given(
+        order=st.permutations(list(range(12))),
+    )
+    def test_any_arrival_order_delivers_everything(self, order):
+        r = ReceiveReassembly()
+        chunk = 64
+        delivered = 0
+        for index in order:
+            newly, _ = r.offer(index * chunk, chunk)
+            delivered += newly
+        assert delivered == 12 * chunk
+        assert r.rcv_nxt == 12 * chunk

@@ -1,0 +1,114 @@
+"""Tests for Reno congestion control."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.transport.tcp.congestion import RenoCongestionControl
+
+MSS = 512
+
+
+@pytest.fixture
+def cc():
+    return RenoCongestionControl(MSS, initial_cwnd_segments=2)
+
+
+class TestSlowStart:
+    def test_starts_in_slow_start(self, cc):
+        assert cc.in_slow_start
+        assert cc.cwnd_bytes == 2 * MSS
+
+    def test_exponential_growth_per_ack(self, cc):
+        cc.on_new_ack(MSS)
+        assert cc.cwnd_bytes == 3 * MSS
+        cc.on_new_ack(MSS)
+        assert cc.cwnd_bytes == 4 * MSS
+
+    def test_growth_capped_at_mss_per_ack(self, cc):
+        cc.on_new_ack(10 * MSS)  # a jumbo cumulative ACK
+        assert cc.cwnd_bytes == 3 * MSS
+
+
+class TestCongestionAvoidance:
+    def test_linear_growth_above_ssthresh(self):
+        cc = RenoCongestionControl(MSS, initial_cwnd_segments=2,
+                                   initial_ssthresh_bytes=2 * MSS)
+        assert not cc.in_slow_start
+        start = cc.cwnd_bytes
+        cc.on_new_ack(MSS)
+        assert cc.cwnd_bytes == start + MSS * MSS // start
+
+    def test_one_mss_per_rtt_approximately(self):
+        cc = RenoCongestionControl(MSS, initial_cwnd_segments=4,
+                                   initial_ssthresh_bytes=MSS)
+        start = cc.cwnd_bytes
+        # One window's worth of ACKs grows cwnd by ~1 MSS.
+        for _ in range(start // MSS):
+            cc.on_new_ack(MSS)
+        assert cc.cwnd_bytes == pytest.approx(start + MSS, abs=MSS // 4)
+
+
+class TestFastRetransmit:
+    def test_third_dup_ack_triggers(self, cc):
+        flight = 8 * MSS
+        assert not cc.on_duplicate_ack(flight)
+        assert not cc.on_duplicate_ack(flight)
+        assert cc.on_duplicate_ack(flight)
+        assert cc.in_fast_recovery
+        assert cc.ssthresh_bytes == flight // 2
+        assert cc.cwnd_bytes == flight // 2 + 3 * MSS
+
+    def test_ssthresh_floor_is_two_mss(self, cc):
+        for _ in range(3):
+            cc.on_duplicate_ack(MSS)
+        assert cc.ssthresh_bytes == 2 * MSS
+
+    def test_window_inflates_during_recovery(self, cc):
+        for _ in range(3):
+            cc.on_duplicate_ack(8 * MSS)
+        inflated = cc.cwnd_bytes
+        assert not cc.on_duplicate_ack(8 * MSS)
+        assert cc.cwnd_bytes == inflated + MSS
+
+    def test_new_ack_deflates_and_exits_recovery(self, cc):
+        for _ in range(3):
+            cc.on_duplicate_ack(8 * MSS)
+        cc.on_new_ack(MSS)
+        assert not cc.in_fast_recovery
+        assert cc.cwnd_bytes == cc.ssthresh_bytes
+
+    def test_new_ack_resets_dup_counter(self, cc):
+        cc.on_duplicate_ack(8 * MSS)
+        cc.on_duplicate_ack(8 * MSS)
+        cc.on_new_ack(MSS)
+        assert cc.duplicate_acks == 0
+
+
+class TestTimeout:
+    def test_collapse_to_one_mss(self, cc):
+        cc.on_new_ack(MSS)
+        cc.on_timeout(8 * MSS)
+        assert cc.cwnd_bytes == MSS
+        assert cc.ssthresh_bytes == 4 * MSS
+        assert cc.in_slow_start
+
+    def test_timeout_exits_fast_recovery(self, cc):
+        for _ in range(3):
+            cc.on_duplicate_ack(8 * MSS)
+        cc.on_timeout(8 * MSS)
+        assert not cc.in_fast_recovery
+        assert cc.duplicate_acks == 0
+
+
+class TestValidation:
+    def test_bad_mss_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RenoCongestionControl(0)
+
+    def test_bad_initial_cwnd_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RenoCongestionControl(MSS, initial_cwnd_segments=0)
+
+    def test_zero_ack_rejected(self, cc):
+        with pytest.raises(ConfigurationError):
+            cc.on_new_ack(0)

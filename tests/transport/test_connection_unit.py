@@ -1,0 +1,258 @@
+"""Unit tests of the TCP connection machine over a fake transport.
+
+No radio, no IP: segments are captured in a list and replies are
+injected by hand, so each protocol rule (handshake, cumulative ACKs,
+fast retransmit, RTO backoff, FIN) is pinned in isolation.
+"""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.transport.tcp.connection import TcpConfig, TcpConnection, TcpState
+from repro.transport.tcp.segment import TcpSegment
+
+
+class FakeTransport:
+    """Captures outbound segments; optionally rejects sends."""
+
+    def __init__(self):
+        self.segments: list[TcpSegment] = []
+        self.accept = True
+
+    def send_segment(self, segment, dst):
+        if not self.accept:
+            return False
+        self.segments.append(segment)
+        return True
+
+    def take(self):
+        segments, self.segments = self.segments, []
+        return segments
+
+
+def make_connection(**config_kwargs):
+    sim = Simulator()
+    transport = FakeTransport()
+    connection = TcpConnection(
+        sim,
+        transport,
+        TcpConfig(**config_kwargs),
+        local_addr=1,
+        local_port=1000,
+        remote_addr=2,
+        remote_port=80,
+    )
+    return sim, transport, connection
+
+
+def reply(connection, *, seq=0, ack=0, payload=0, syn=False, fin=False,
+          window=65535):
+    connection.on_segment(
+        TcpSegment(
+            src_port=80,
+            dst_port=1000,
+            seq=seq,
+            ack=ack,
+            payload_bytes=payload,
+            syn=syn,
+            fin=fin,
+            window=window,
+        )
+    )
+
+
+def establish(sim, transport, connection):
+    connection.connect()
+    transport.take()  # the SYN
+    reply(connection, seq=0, ack=1, syn=True)
+    transport.take()  # the handshake ACK
+    assert connection.state is TcpState.ESTABLISHED
+
+
+class TestHandshake:
+    def test_syn_then_established(self):
+        sim, transport, connection = make_connection()
+        connection.connect()
+        (syn,) = transport.take()
+        assert syn.syn and syn.seq == 0
+        established = []
+        connection.on_established = lambda: established.append(True)
+        reply(connection, seq=0, ack=1, syn=True)
+        assert established == [True]
+        assert connection.snd_una == 1
+
+    def test_syn_retransmitted_on_timeout(self):
+        sim, transport, connection = make_connection(initial_rto_s=0.5)
+        connection.connect()
+        transport.take()
+        sim.run(until_s=0.6)
+        retries = [s for s in transport.take() if s.syn]
+        assert len(retries) == 1
+
+    def test_connect_gives_up_after_retries(self):
+        sim, transport, connection = make_connection(
+            initial_rto_s=0.2, connect_retries=2, max_rto_s=0.4
+        )
+        closed = []
+        connection.on_closed = closed.append
+        connection.connect()
+        sim.run(until_s=10.0)
+        assert closed == ["connect-timeout"]
+        assert connection.state is TcpState.CLOSED
+
+
+class TestDataTransfer:
+    def test_sends_up_to_cwnd(self):
+        sim, transport, connection = make_connection(
+            mss_bytes=500, initial_cwnd_segments=2
+        )
+        establish(sim, transport, connection)
+        connection.send(5000)
+        segments = transport.take()
+        assert [s.payload_bytes for s in segments] == [500, 500]
+
+    def test_ack_opens_the_window(self):
+        sim, transport, connection = make_connection(
+            mss_bytes=500, initial_cwnd_segments=2
+        )
+        establish(sim, transport, connection)
+        connection.send(5000)
+        transport.take()
+        reply(connection, seq=1, ack=1001)  # both segments acked
+        segments = transport.take()
+        # cwnd grew to 3 MSS (slow start) and 2 were released: 3 in flight.
+        assert len(segments) == 3
+
+    def test_peer_window_limits_flight(self):
+        sim, transport, connection = make_connection(
+            mss_bytes=500, initial_cwnd_segments=8
+        )
+        establish(sim, transport, connection)
+        reply(connection, seq=1, ack=1, window=700)
+        connection.send(5000)
+        segments = transport.take()
+        assert sum(s.payload_bytes for s in segments) <= 700
+
+    def test_receiver_delivers_and_acks(self):
+        sim, transport, connection = make_connection(delayed_ack=False)
+        establish(sim, transport, connection)
+        delivered = []
+        connection.on_deliver = delivered.append
+        reply(connection, seq=1, payload=500, ack=1)
+        assert delivered == [500]
+        (ack,) = transport.take()
+        assert ack.ack == 501
+        assert ack.payload_bytes == 0
+
+    def test_delayed_ack_fires_on_second_segment(self):
+        sim, transport, connection = make_connection(delayed_ack=True)
+        establish(sim, transport, connection)
+        reply(connection, seq=1, payload=500, ack=1)
+        assert transport.take() == []  # first segment: ACK withheld
+        reply(connection, seq=501, payload=500, ack=1)
+        (ack,) = transport.take()
+        assert ack.ack == 1001
+
+    def test_delayed_ack_timer_fires_alone(self):
+        sim, transport, connection = make_connection(
+            delayed_ack=True, delack_timeout_s=0.2
+        )
+        establish(sim, transport, connection)
+        reply(connection, seq=1, payload=500, ack=1)
+        sim.run(until_s=0.3)
+        (ack,) = transport.take()
+        assert ack.ack == 501
+
+    def test_out_of_order_data_acked_immediately(self):
+        sim, transport, connection = make_connection(delayed_ack=True)
+        establish(sim, transport, connection)
+        reply(connection, seq=501, payload=500, ack=1)  # gap!
+        (dup_ack,) = transport.take()
+        assert dup_ack.ack == 1  # still expecting seq 1
+
+
+class TestLossRecovery:
+    def _establish_with_flight(self, mss=500, cwnd=8):
+        sim, transport, connection = make_connection(
+            mss_bytes=mss, initial_cwnd_segments=cwnd
+        )
+        establish(sim, transport, connection)
+        connection.send(mss * 4)
+        flight = transport.take()
+        assert len(flight) == 4
+        return sim, transport, connection
+
+    def test_three_dup_acks_trigger_fast_retransmit(self):
+        sim, transport, connection = self._establish_with_flight()
+        for _ in range(3):
+            reply(connection, seq=1, ack=1)
+        retransmits = [s for s in transport.take() if s.seq == 1]
+        assert len(retransmits) == 1
+        assert connection.fast_retransmits == 1
+        assert connection.congestion.in_fast_recovery
+
+    def test_two_dup_acks_do_not(self):
+        sim, transport, connection = self._establish_with_flight()
+        for _ in range(2):
+            reply(connection, seq=1, ack=1)
+        assert [s for s in transport.take() if s.seq == 1] == []
+
+    def test_rto_collapses_cwnd_and_retransmits(self):
+        sim, transport, connection = self._establish_with_flight()
+        sim.run(until_s=2.0)  # initial RTO 1 s fires
+        assert connection.timeouts >= 1
+        assert connection.congestion.cwnd_bytes == 500
+        assert any(s.seq == 1 for s in transport.take())
+
+    def test_rto_backs_off_exponentially(self):
+        sim, transport, connection = self._establish_with_flight()
+        sim.run(until_s=0.5)
+        before = connection.rto.rto_s
+        sim.run(until_s=2.0)
+        assert connection.rto.rto_s > before
+
+    def test_new_ack_after_recovery_resumes(self):
+        sim, transport, connection = self._establish_with_flight()
+        for _ in range(3):
+            reply(connection, seq=1, ack=1)
+        transport.take()
+        reply(connection, seq=1, ack=2001)  # everything arrived
+        assert not connection.congestion.in_fast_recovery
+        assert connection.snd_una == 2001
+
+
+class TestClose:
+    def test_fin_after_drain_and_ack_closes(self):
+        sim, transport, connection = make_connection(mss_bytes=500)
+        establish(sim, transport, connection)
+        closed = []
+        connection.on_closed = closed.append
+        connection.send(500)
+        connection.close()
+        segments = transport.take()
+        assert segments[0].payload_bytes == 500
+        assert segments[1].fin
+        reply(connection, seq=1, ack=segments[1].end_seq)
+        assert connection.state is TcpState.CLOSED
+        assert closed == ["closed"]
+
+    def test_peer_fin_delivered_once(self):
+        sim, transport, connection = make_connection()
+        establish(sim, transport, connection)
+        peer_closed = []
+        connection.on_peer_closed = lambda: peer_closed.append(True)
+        reply(connection, seq=1, payload=100, ack=1, fin=True)
+        reply(connection, seq=1, payload=100, ack=1, fin=True)  # dup
+        assert peer_closed == [True]
+        ack = transport.take()[-1]
+        assert ack.ack == 102  # 100 bytes + FIN
+
+    def test_send_queue_rejection_retries_via_pump_timer(self):
+        sim, transport, connection = make_connection(mss_bytes=500)
+        establish(sim, transport, connection)
+        transport.accept = False
+        connection.send(500)
+        assert transport.take() == []
+        transport.accept = True
+        sim.run(until_s=0.1)  # the pump timer retries
+        assert [s.payload_bytes for s in transport.take()] == [500]

@@ -1,0 +1,66 @@
+"""Tests for the RTO estimator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.transport.tcp.rto import RtoEstimator
+
+
+class TestRtoEstimator:
+    def test_initial_rto(self):
+        assert RtoEstimator(initial_rto_s=1.0).rto_s == 1.0
+
+    def test_first_sample_sets_srtt(self):
+        rto = RtoEstimator()
+        rto.sample(0.1)
+        assert rto.srtt_s == pytest.approx(0.1)
+        # RTO = SRTT + 4 * RTTVAR = 0.1 + 4 * 0.05 = 0.3.
+        assert rto.rto_s == pytest.approx(0.3)
+
+    def test_min_rto_clamp(self):
+        rto = RtoEstimator(min_rto_s=0.2)
+        for _ in range(20):
+            rto.sample(0.001)
+        assert rto.rto_s == pytest.approx(0.2)
+
+    def test_max_rto_clamp(self):
+        rto = RtoEstimator(max_rto_s=60.0)
+        rto.sample(50.0)
+        assert rto.rto_s == 60.0
+
+    def test_smoothing_converges(self):
+        rto = RtoEstimator()
+        for _ in range(100):
+            rto.sample(0.25)
+        assert rto.srtt_s == pytest.approx(0.25, rel=0.01)
+
+    def test_backoff_doubles_until_next_sample(self):
+        rto = RtoEstimator(initial_rto_s=1.0)
+        rto.backoff()
+        assert rto.rto_s == 2.0
+        rto.backoff()
+        assert rto.rto_s == 4.0
+        rto.sample(0.5)
+        assert rto.rto_s < 4.0  # backoff cleared
+
+    def test_backoff_respects_max(self):
+        rto = RtoEstimator(initial_rto_s=1.0, max_rto_s=8.0)
+        for _ in range(10):
+            rto.backoff()
+        assert rto.rto_s == 8.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RtoEstimator(initial_rto_s=0.1, min_rto_s=0.2)
+
+    def test_non_positive_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RtoEstimator().sample(0.0)
+
+    @given(samples=st.lists(st.floats(min_value=1e-4, max_value=30.0), max_size=50))
+    def test_rto_always_within_bounds(self, samples):
+        rto = RtoEstimator(min_rto_s=0.2, max_rto_s=60.0)
+        for s in samples:
+            rto.sample(s)
+            assert 0.2 <= rto.rto_s <= 60.0

@@ -1,0 +1,112 @@
+"""Shared helpers for integration-style tests: small MAC networks."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.channel.medium import Medium
+from repro.channel.shadowing import ChannelModel
+from repro.core.params import Dot11bConfig, Rate
+from repro.mac.dcf import AckPolicy, MacConfig, MacStation
+from repro.phy.radio import RadioParameters
+from repro.phy.transceiver import Transceiver
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngManager
+from repro.sim.tracing import Tracer
+
+
+@dataclass
+class Station:
+    """One station of a test network."""
+
+    mac: MacStation
+    phy: Transceiver
+    received: list[tuple[Any, int]] = field(default_factory=list)
+    sent_results: list[tuple[Any, int, bool]] = field(default_factory=list)
+
+
+@dataclass
+class MacNetwork:
+    """A simulator plus stations at given positions."""
+
+    sim: Simulator
+    medium: Medium
+    stations: list[Station]
+    tracer: Tracer
+
+    def __getitem__(self, index: int) -> Station:
+        return self.stations[index]
+
+
+def build_mac_network(
+    positions_m,
+    data_rate: Rate = Rate.MBPS_2,
+    rts_enabled: bool = False,
+    seed: int = 1,
+    fast_sigma_db: float = 0.0,
+    radio: RadioParameters | None = None,
+    ack_policy: AckPolicy = AckPolicy.ALWAYS,
+    dot11: Dot11bConfig | None = None,
+    **mac_kwargs,
+) -> MacNetwork:
+    """Stations with MACs on a deterministic (by default) channel."""
+    sim = Simulator()
+    rngs = RngManager(seed)
+    tracer = Tracer()
+    channel = ChannelModel(fast_sigma_db=fast_sigma_db, rng=rngs.stream("channel"))
+    medium = Medium(sim, channel)
+    if radio is None:
+        radio = RadioParameters.calibrated()
+    if dot11 is None:
+        dot11 = Dot11bConfig()
+    stations = []
+    for index, x in enumerate(positions_m):
+        phy = Transceiver(
+            sim,
+            medium,
+            radio,
+            name=f"s{index + 1}",
+            position_m=(float(x), 0.0),
+            rng=rngs.stream(f"phy{index}"),
+            tracer=tracer,
+        )
+        mac = MacStation(
+            sim,
+            phy,
+            MacConfig(
+                address=index + 1,
+                data_rate=data_rate,
+                dot11=dot11,
+                rts_enabled=rts_enabled,
+                ack_policy=ack_policy,
+                **mac_kwargs,
+            ),
+            rng=rngs.stream(f"mac{index}"),
+            tracer=tracer,
+        )
+        station = Station(mac=mac, phy=phy)
+        mac.set_receive_callback(
+            lambda msdu, src, s=station: s.received.append((msdu, src))
+        )
+        mac.set_sent_callback(
+            lambda msdu, dst, ok, s=station: s.sent_results.append((msdu, dst, ok))
+        )
+        stations.append(station)
+    return MacNetwork(sim=sim, medium=medium, stations=stations, tracer=tracer)
+
+
+def saturate(network: MacNetwork, sender: int, receiver: int, msdu_bytes: int) -> None:
+    """Keep the sender's MAC queue topped up for the whole run."""
+    station = network[sender]
+    dst = network[receiver].mac.address
+
+    def refill(msdu, _dst, _ok):
+        station.mac.enqueue(f"pkt{msdu}", dst, msdu_bytes)
+
+    station.mac.set_sent_callback(
+        lambda msdu, d, ok, s=station: (s.sent_results.append((msdu, d, ok)), refill(msdu, d, ok))
+    )
+    for i in range(4):
+        station.mac.enqueue(f"seed{i}", dst, msdu_bytes)
