@@ -11,7 +11,7 @@ what a signal means (carrier sense, preamble lock, interference).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Protocol
+from typing import Any, Callable, Protocol
 
 from repro.channel.propagation import SPEED_OF_LIGHT_M_S
 from repro.channel.shadowing import ChannelModel, Position, distance_m
@@ -65,6 +65,11 @@ class MediumDevice(Protocol):
         """A previously started signal fades out at this device."""
 
 
+#: Extra loss (dB) injected on one directed (source, receiver) pair at a
+#: given time — the fault layer's hook into the medium.
+LossHook = Callable[["MediumDevice", "MediumDevice", int], float]
+
+
 class Medium:
     """Broadcast medium over one channel model.
 
@@ -83,6 +88,10 @@ class Medium:
         self._channel = channel
         self._delivery_floor_dbm = delivery_floor_dbm
         self._devices: list[MediumDevice] = []
+        self._loss_hooks: list[LossHook] = []
+        # Signal ids restart per medium so two runs of the same scenario
+        # produce bit-identical traces within one process.
+        Signal._ids = itertools.count(1)
 
     @property
     def channel(self) -> ChannelModel:
@@ -99,6 +108,22 @@ class Medium:
         if device in self._devices:
             raise MediumError(f"device {device!r} is already attached")
         self._devices.append(device)
+
+    def add_loss_hook(self, hook: LossHook) -> None:
+        """Register extra per-link loss (fault injection: fades, blackouts).
+
+        ``hook(source, receiver, time_ns)`` returns the additional loss
+        in dB for that directed pair; hooks are summed on top of the
+        channel model's own loss.
+        """
+        if hook in self._loss_hooks:
+            raise MediumError("loss hook is already installed")
+        self._loss_hooks.append(hook)
+
+    def remove_loss_hook(self, hook: LossHook) -> None:
+        """Unregister a loss hook.  Safe to call if never installed."""
+        if hook in self._loss_hooks:
+            self._loss_hooks.remove(hook)
 
     def propagation_delay_ns(self, from_pos: Position, to_pos: Position) -> int:
         """Signal propagation delay between two positions."""
@@ -133,6 +158,8 @@ class Medium:
                 id(device),
                 now,
             )
+            for hook in self._loss_hooks:
+                loss_db += hook(source, device, now)
             rx_power_dbm = tx_power_dbm - loss_db
             if rx_power_dbm < self._delivery_floor_dbm:
                 continue

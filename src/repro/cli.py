@@ -5,18 +5,23 @@ Regenerates the paper's tables and figures from the terminal::
     repro80211 list
     repro80211 table2
     repro80211 figure3 --probes 300 --seed 7
-    repro80211 figure7 --duration 20
-    repro80211 all --duration 5 --probes 100
+    repro80211 fault-blackout --duration 20
+    repro80211 all --duration 5 --probes 100 --timeout 120 --report run.json
+
+Every run goes through the hardened experiment runner: a failing or
+hung experiment produces a one-line error and a structured failure
+record instead of a traceback, and the rest of an ``all`` batch still
+completes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Sequence
 
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runner import ExperimentResult, RunnerConfig, run_suite
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,15 +51,48 @@ def _build_parser() -> argparse.ArgumentParser:
         default=200,
         help="probe frames per distance point in range sweeps (default 200)",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per experiment attempt (default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="reseeded retries after a simulation-kernel failure (default 1)",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write a machine-readable JSON report to PATH",
+    )
     return parser
 
 
 def _list_experiments() -> str:
     lines = ["available experiments:"]
+    width = max(len(name) for name in EXPERIMENTS)
     for name in sorted(EXPERIMENTS):
-        lines.append(f"  {name:10}  {EXPERIMENTS[name].description}")
-    lines.append("  all         run everything above in sequence")
+        lines.append(f"  {name:{width}}  {EXPERIMENTS[name].description}")
+    lines.append(f"  {'all':{width}}  run everything above in sequence")
     return "\n".join(lines)
+
+
+def _print_result(result: ExperimentResult) -> None:
+    if result.ok:
+        print(result.output)
+        retries = f", {result.attempts} attempts" if result.attempts > 1 else ""
+        print(f"[{result.name} completed in {result.elapsed_s:.1f}s wall clock{retries}]")
+        print()
+    else:
+        print(
+            f"error: {result.name}: {result.error}",
+            file=sys.stderr,
+        )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -67,23 +105,27 @@ def main(argv: Sequence[str] | None = None) -> int:
             pass
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    config = RunnerConfig(timeout_s=args.timeout, max_retries=max(0, args.retries))
     try:
-        for name in names:
-            experiment = get_experiment(name)
-            started = time.monotonic()
-            output = experiment.run(
-                seed=args.seed, duration_s=args.duration, probes=args.probes
-            )
-            elapsed = time.monotonic() - started
-            print(output)
-            print(f"[{name} completed in {elapsed:.1f}s wall clock]")
-            print()
+        report = run_suite(
+            names,
+            seed=args.seed,
+            duration_s=args.duration,
+            probes=args.probes,
+            config=config,
+            on_result=_print_result,
+        )
+        if len(names) > 1:
+            print(report.format_summary())
+        if args.report is not None:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
     except BrokenPipeError:  # pragma: no cover - output piped to head
         return 0
-    except Exception as error:  # pragma: no cover - CLI surface
+    except Exception as error:  # pragma: no cover - last-resort CLI surface
         print(f"error: {error}", file=sys.stderr)
         return 1
-    return 0
+    return 0 if report.all_ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

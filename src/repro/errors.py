@@ -25,6 +25,21 @@ class SchedulingError(SimulationError):
     """An event was scheduled in the past or on a stopped simulator."""
 
 
+class WatchdogTimeout(SimulationError):
+    """A watchdog budget (event count or wall clock) was exhausted.
+
+    Raised by the engine's :class:`~repro.sim.engine.Watchdog` when a run
+    spins past its event or wall-clock budget, and by the hardened
+    experiment runner when one experiment exceeds its per-attempt
+    timeout.  Deriving from :class:`SimulationError` makes it eligible
+    for the runner's retry-with-perturbed-seed policy.
+    """
+
+
+class FaultError(ReproError):
+    """A fault schedule is invalid or targets an incompatible network."""
+
+
 class MediumError(SimulationError):
     """The wireless medium's signal bookkeeping was violated."""
 

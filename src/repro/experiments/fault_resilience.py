@@ -1,0 +1,284 @@
+"""Experiments ``fault-blackout`` / ``fault-crash``: throughput under faults.
+
+The paper's testbed lost links for minutes at a time (Figure 4 shows the
+1 Mbps range differing day to day) and stations came and went; these
+experiments inject those events deliberately and show the stack
+degrading and recovering instead of falling over:
+
+* **fault-blackout** — a UDP flow through a total link outage injected
+  mid-session.  Throughput collapses during the window, then recovers
+  (with a drain burst: frames queued at the MAC during the outage go
+  out once the link returns).
+* **fault-crash** — a TCP bulk transfer whose *sender* station loses
+  power mid-stream and reboots later.  The original connection dies
+  without a FIN; on reboot the application opens a fresh connection and
+  goodput resumes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.apps.bulk import BulkTcpSender
+from repro.apps.cbr import CbrSource
+from repro.apps.sink import UdpSink
+from repro.core.params import Rate
+from repro.errors import ConfigurationError
+from repro.experiments.common import build_network
+from repro.faults import FaultSchedule, NodeCrash, link_blackout
+from repro.net.node import Node
+from repro.transport.tcp.connection import TcpConnection
+
+#: Port used by both workloads at the receiver.
+_PORT = 5001
+
+
+@dataclass(frozen=True)
+class PhaseThroughput:
+    """Goodput over one phase of a faulted run."""
+
+    label: str
+    start_s: float
+    end_s: float
+    mbps: float
+
+
+def _phase_mbps(
+    rx_times_ns: list[int],
+    rx_bytes: list[int],
+    start_s: float,
+    end_s: float,
+) -> float:
+    lo = bisect.bisect_left(rx_times_ns, round(start_s * 1e9))
+    hi = bisect.bisect_left(rx_times_ns, round(end_s * 1e9))
+    window_s = end_s - start_s
+    if window_s <= 0:
+        return 0.0
+    return sum(rx_bytes[lo:hi]) * 8 / window_s / 1e6
+
+
+# ------------------------------------------------------------- blackout
+
+
+@dataclass(frozen=True)
+class BlackoutResult:
+    """Outcome of the link-blackout scenario."""
+
+    phases: tuple[PhaseThroughput, ...]
+    blackout_start_s: float
+    blackout_end_s: float
+    packets_received: int
+    mac_retries: int
+    mac_drops: int
+
+    @property
+    def degraded(self) -> bool:
+        """True when the outage visibly suppressed throughput."""
+        before, during, _ = self.phases
+        return during.mbps < before.mbps * 0.1
+
+
+def run_link_blackout(
+    duration_s: float = 15.0,
+    blackout_s: float = 5.0,
+    offered_mbps: float = 1.5,
+    rate: Rate = Rate.MBPS_11,
+    seed: int = 1,
+) -> BlackoutResult:
+    """UDP flow with a total link outage centred in the run."""
+    if duration_s < blackout_s + 4.0:
+        raise ConfigurationError(
+            f"duration ({duration_s:g}s) must leave at least 2s of clean "
+            f"channel either side of the {blackout_s:g}s blackout"
+        )
+    start_s = (duration_s - blackout_s) / 2
+    end_s = start_s + blackout_s
+    net = build_network([0, 10], data_rate=rate, seed=seed, fast_sigma_db=0.0)
+    sink = UdpSink(net[1], port=_PORT)
+    CbrSource(
+        net[0],
+        dst=2,
+        dst_port=_PORT,
+        payload_bytes=512,
+        rate_bps=offered_mbps * 1e6,
+    )
+    FaultSchedule(
+        [link_blackout(start_s, blackout_s, node_a=0, node_b=1)]
+    ).install(net)
+    net.run(duration_s)
+    rx_bytes = [512] * len(sink.rx_times_ns)
+    phases = tuple(
+        PhaseThroughput(
+            label,
+            lo,
+            hi,
+            _phase_mbps(sink.rx_times_ns, rx_bytes, lo, hi),
+        )
+        for label, lo, hi in (
+            ("before", 0.0, start_s),
+            ("blackout", start_s, end_s),
+            ("after", end_s, duration_s),
+        )
+    )
+    mac = net[0].mac.counters
+    return BlackoutResult(
+        phases=phases,
+        blackout_start_s=start_s,
+        blackout_end_s=end_s,
+        packets_received=sink.packets,
+        mac_retries=mac.retries,
+        mac_drops=mac.tx_drops,
+    )
+
+
+def format_link_blackout(result: BlackoutResult) -> str:
+    """Phase table plus the sender's MAC-level cost of the outage."""
+    table = render_table(
+        ["phase", "window (s)", "goodput (Mbps)"],
+        [
+            (p.label, f"{p.start_s:g}-{p.end_s:g}", p.mbps)
+            for p in result.phases
+        ],
+        title=(
+            f"fault-blackout - UDP through a "
+            f"{result.blackout_end_s - result.blackout_start_s:g}s link outage"
+        ),
+    )
+    verdict = "degraded, then recovered" if result.degraded else "UNEXPECTED"
+    return (
+        f"{table}\n"
+        f"packets received: {result.packets_received}, sender MAC retries: "
+        f"{result.mac_retries}, sender MAC drops: {result.mac_drops}\n"
+        f"verdict: {verdict}"
+    )
+
+
+# ---------------------------------------------------------- node crash
+
+
+class _TimestampedTcpReceiver:
+    """TCP listener recording (arrival time, bytes) per delivery."""
+
+    def __init__(self, node: Node, port: int):
+        self._node = node
+        self.rx_times_ns: list[int] = []
+        self.rx_bytes: list[int] = []
+        self.connections: list[TcpConnection] = []
+        node.tcp.listen(port, self._on_connection)
+
+    def _on_connection(self, connection: TcpConnection) -> None:
+        self.connections.append(connection)
+        connection.on_deliver = self._on_deliver
+
+    def _on_deliver(self, nbytes: int) -> None:
+        self.rx_times_ns.append(self._node.sim.now_ns)
+        self.rx_bytes.append(nbytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """All stream bytes delivered across connections."""
+        return sum(self.rx_bytes)
+
+
+@dataclass(frozen=True)
+class CrashResult:
+    """Outcome of the sender-crash/reboot scenario."""
+
+    phases: tuple[PhaseThroughput, ...]
+    crash_s: float
+    reboot_s: float
+    old_connection_reason: str | None
+    connections_seen: int
+    bytes_after_reboot: int
+
+    @property
+    def recovered(self) -> bool:
+        """True when goodput resumed on a fresh connection after reboot."""
+        return self.connections_seen >= 2 and self.bytes_after_reboot > 0
+
+
+def run_node_crash(
+    duration_s: float = 15.0,
+    crash_s: float = 5.0,
+    downtime_s: float = 4.0,
+    seed: int = 1,
+) -> CrashResult:
+    """TCP bulk transfer whose sender crashes and reboots mid-stream."""
+    if duration_s < crash_s + downtime_s + 2.0:
+        raise ConfigurationError(
+            f"duration ({duration_s:g}s) must leave at least 2s after the "
+            f"reboot at {crash_s + downtime_s:g}s"
+        )
+    reboot_s = crash_s + downtime_s
+    net = build_network([0, 10], seed=seed, fast_sigma_db=0.0)
+    receiver = _TimestampedTcpReceiver(net[1], port=_PORT)
+    sender = BulkTcpSender(net[0], dst=2, dst_port=_PORT)
+    closed_reasons: list[str] = []
+    sender.connection.on_closed = closed_reasons.append
+
+    def restart_transfer(node: Node) -> None:
+        BulkTcpSender(node, dst=2, dst_port=_PORT)
+
+    FaultSchedule(
+        [
+            NodeCrash(
+                start_s=crash_s,
+                duration_s=downtime_s,
+                node=0,
+                on_reboot=restart_transfer,
+            )
+        ]
+    ).install(net)
+    net.run(duration_s)
+    phases = tuple(
+        PhaseThroughput(
+            label,
+            lo,
+            hi,
+            _phase_mbps(receiver.rx_times_ns, receiver.rx_bytes, lo, hi),
+        )
+        for label, lo, hi in (
+            ("before", 0.0, crash_s),
+            ("down", crash_s, reboot_s),
+            ("after", reboot_s, duration_s),
+        )
+    )
+    reboot_ns = round(reboot_s * 1e9)
+    bytes_after = sum(
+        nbytes
+        for time_ns, nbytes in zip(receiver.rx_times_ns, receiver.rx_bytes)
+        if time_ns >= reboot_ns
+    )
+    return CrashResult(
+        phases=phases,
+        crash_s=crash_s,
+        reboot_s=reboot_s,
+        old_connection_reason=closed_reasons[0] if closed_reasons else None,
+        connections_seen=len(receiver.connections),
+        bytes_after_reboot=bytes_after,
+    )
+
+
+def format_node_crash(result: CrashResult) -> str:
+    """Phase table plus the connection-lifecycle story."""
+    table = render_table(
+        ["phase", "window (s)", "goodput (Mbps)"],
+        [
+            (p.label, f"{p.start_s:g}-{p.end_s:g}", p.mbps)
+            for p in result.phases
+        ],
+        title=(
+            f"fault-crash - TCP sender crashes at {result.crash_s:g}s, "
+            f"reboots at {result.reboot_s:g}s"
+        ),
+    )
+    verdict = "recovered on a fresh connection" if result.recovered else "UNEXPECTED"
+    return (
+        f"{table}\n"
+        f"old connection closed: {result.old_connection_reason}, connections "
+        f"seen by receiver: {result.connections_seen}, bytes after reboot: "
+        f"{result.bytes_after_reboot}\n"
+        f"verdict: {verdict}"
+    )

@@ -108,6 +108,29 @@ def _link_lifetime(seed: int = 1, **kwargs) -> str:
     return format_link_lifetimes(run_link_lifetimes(seed=seed))
 
 
+def _fault_blackout(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+    from repro.experiments.fault_resilience import (
+        format_link_blackout,
+        run_link_blackout,
+    )
+
+    # A 5 s outage needs clean channel either side of it.
+    return format_link_blackout(
+        run_link_blackout(duration_s=max(duration_s, 15.0), seed=seed)
+    )
+
+
+def _fault_crash(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+    from repro.experiments.fault_resilience import (
+        format_node_crash,
+        run_node_crash,
+    )
+
+    return format_node_crash(
+        run_node_crash(duration_s=max(duration_s, 15.0), seed=seed)
+    )
+
+
 def _figure1(**kwargs) -> str:
     from repro.experiments.diagrams import format_figure1
 
@@ -150,6 +173,16 @@ EXPERIMENTS: dict[str, Experiment] = {
             "link-lifetime",
             "Extension: mobile link lifetime, calibrated vs ns-2 ranges",
             _link_lifetime,
+        ),
+        Experiment(
+            "fault-blackout",
+            "Resilience: UDP through an injected 5 s link blackout",
+            _fault_blackout,
+        ),
+        Experiment(
+            "fault-crash",
+            "Resilience: TCP recovery across a sender crash/reboot",
+            _fault_crash,
         ),
     )
 }

@@ -1,0 +1,271 @@
+"""Hardened experiment driver: timeouts, retries, graceful degradation.
+
+``run_suite`` runs a set of registered experiments so that one failure
+can never take down the batch:
+
+* each attempt runs under an optional wall-clock **timeout** (enforced
+  from a watchdog thread; an expired attempt is recorded as a
+  :class:`~repro.errors.WatchdogTimeout`);
+* a :class:`~repro.errors.SimulationError` — including watchdog
+  timeouts — triggers a bounded **retry with a perturbed seed**, on the
+  theory that kernel-level livelocks are usually seed-sensitive corner
+  cases;
+* any other exception (and exhausted retries) degrades to a structured
+  :class:`ExperimentResult` failure record while the rest of the suite
+  completes;
+* the :class:`SuiteReport` renders both a human-readable summary and a
+  machine-readable JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ExperimentError, SimulationError, WatchdogTimeout
+from repro.experiments.registry import EXPERIMENTS, Experiment
+
+#: Default seed offset between retry attempts.  A large odd constant so
+#: perturbed seeds never collide with a user's natural seed sweep.
+DEFAULT_RETRY_SEED_STEP = 100_003
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Robustness policy for one suite run."""
+
+    #: Wall-clock budget per attempt; ``None`` disables the timeout.
+    timeout_s: float | None = None
+    #: Extra attempts after a ``SimulationError`` (0 = never retry).
+    max_retries: int = 1
+    #: Seed offset added per retry attempt.
+    retry_seed_step: int = DEFAULT_RETRY_SEED_STEP
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of one experiment (success or failure)."""
+
+    name: str
+    status: str  # "ok" | "failed" | "timeout"
+    output: str | None = None
+    error: str | None = None
+    error_type: str | None = None
+    attempts: int = 1
+    seeds: list[int] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    traceback: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True for a clean run."""
+        return self.status == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (output text included only on success)."""
+        return {
+            "name": self.name,
+            "status": self.status,
+            "output": self.output,
+            "error": self.error,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
+            "seeds": self.seeds,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "traceback": self.traceback,
+        }
+
+
+@dataclass
+class SuiteReport:
+    """Everything a batch run produced."""
+
+    results: list[ExperimentResult]
+    elapsed_s: float
+    config: RunnerConfig
+
+    @property
+    def succeeded(self) -> list[ExperimentResult]:
+        """Results that ran clean."""
+        return [result for result in self.results if result.ok]
+
+    @property
+    def failed(self) -> list[ExperimentResult]:
+        """Results that degraded to failure records."""
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def all_ok(self) -> bool:
+        """True when every experiment succeeded."""
+        return not self.failed
+
+    def to_json(self) -> str:
+        """Machine-readable report."""
+        return json.dumps(
+            {
+                "elapsed_s": round(self.elapsed_s, 3),
+                "total": len(self.results),
+                "succeeded": len(self.succeeded),
+                "failed": len(self.failed),
+                "timeout_s": self.config.timeout_s,
+                "max_retries": self.config.max_retries,
+                "results": [result.to_dict() for result in self.results],
+            },
+            indent=2,
+        )
+
+    def format_summary(self) -> str:
+        """Human-readable one-line-per-experiment summary."""
+        lines = [
+            f"suite: {len(self.succeeded)}/{len(self.results)} experiments "
+            f"ok in {self.elapsed_s:.1f}s wall clock"
+        ]
+        for result in self.results:
+            if result.ok:
+                detail = f"ok in {result.elapsed_s:.1f}s"
+            else:
+                detail = f"{result.status}: {result.error}"
+            retries = (
+                f" ({result.attempts} attempts)" if result.attempts > 1 else ""
+            )
+            lines.append(f"  {result.name:16} {detail}{retries}")
+        return "\n".join(lines)
+
+
+class _Attempt:
+    """One experiment attempt, optionally bounded by a wall-clock budget.
+
+    The attempt runs on a daemon worker thread only when a timeout is
+    requested; Python offers no portable way to kill the worker, so a
+    timed-out attempt is *abandoned* (it keeps burning CPU until it
+    finishes or the process exits) and reported as a timeout.  Pair the
+    runner timeout with an engine :class:`~repro.sim.engine.Watchdog`
+    budget when the leak matters.
+    """
+
+    def __init__(self, fn: Callable[[], str]):
+        self._fn = fn
+        self._output: str | None = None
+        self._error: BaseException | None = None
+
+    def _target(self) -> None:
+        try:
+            self._output = self._fn()
+        except BaseException as error:  # noqa: BLE001 - re-raised on the caller
+            self._error = error
+
+    def run(self, timeout_s: float | None) -> str:
+        if timeout_s is None:
+            self._target()
+        else:
+            worker = threading.Thread(target=self._target, daemon=True)
+            worker.start()
+            worker.join(timeout_s)
+            if worker.is_alive():
+                raise WatchdogTimeout(
+                    f"experiment exceeded its {timeout_s:g}s wall-clock budget"
+                )
+        if self._error is not None:
+            raise self._error
+        if self._output is None:
+            raise ExperimentError("experiment returned no output")
+        return self._output
+
+
+def run_experiment(
+    name: str,
+    seed: int = 1,
+    duration_s: float = 10.0,
+    probes: int = 200,
+    config: RunnerConfig | None = None,
+    experiments: Mapping[str, Experiment] | None = None,
+) -> ExperimentResult:
+    """Run one experiment under the robustness policy.
+
+    Never raises for experiment failures: lookup errors, crashes,
+    timeouts and exhausted retries all come back as failure records.
+    """
+    if config is None:
+        config = RunnerConfig()
+    registry = experiments if experiments is not None else EXPERIMENTS
+    started = time.monotonic()
+    result = ExperimentResult(name=name, status="failed")
+    experiment = registry.get(name)
+    if experiment is None:
+        result.error = f"unknown experiment {name!r}; valid: {sorted(registry)}"
+        result.error_type = "ExperimentError"
+        result.attempts = 0
+        return result
+
+    for attempt in range(config.max_retries + 1):
+        attempt_seed = seed + attempt * config.retry_seed_step
+        result.attempts = attempt + 1
+        result.seeds.append(attempt_seed)
+        try:
+            result.output = _Attempt(
+                lambda: experiment.run(
+                    seed=attempt_seed, duration_s=duration_s, probes=probes
+                )
+            ).run(config.timeout_s)
+            result.status = "ok"
+            result.error = None
+            result.error_type = None
+            break
+        except SimulationError as error:
+            # Kernel-level failure (watchdog, scheduling, MAC invariant):
+            # eligible for a reseeded retry.
+            result.status = (
+                "timeout" if isinstance(error, WatchdogTimeout) else "failed"
+            )
+            result.error = str(error)
+            result.error_type = type(error).__name__
+        except Exception as error:  # noqa: BLE001 - isolation boundary
+            # Anything else is deterministic; retrying cannot help.
+            result.status = "failed"
+            result.error = str(error) or type(error).__name__
+            result.error_type = type(error).__name__
+            result.traceback = traceback.format_exc()
+            break
+    result.elapsed_s = time.monotonic() - started
+    return result
+
+
+def run_suite(
+    names: Sequence[str],
+    seed: int = 1,
+    duration_s: float = 10.0,
+    probes: int = 200,
+    config: RunnerConfig | None = None,
+    experiments: Mapping[str, Experiment] | None = None,
+    on_result: Callable[[ExperimentResult], None] | None = None,
+) -> SuiteReport:
+    """Run a batch of experiments with per-experiment isolation.
+
+    ``on_result`` (if given) observes each result as it completes —
+    the CLI uses it to stream output while the suite continues.
+    """
+    if config is None:
+        config = RunnerConfig()
+    started = time.monotonic()
+    results = []
+    for name in names:
+        result = run_experiment(
+            name,
+            seed=seed,
+            duration_s=duration_s,
+            probes=probes,
+            config=config,
+            experiments=experiments,
+        )
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+    return SuiteReport(
+        results=results,
+        elapsed_s=time.monotonic() - started,
+        config=config,
+    )

@@ -1,0 +1,29 @@
+"""Fault injection: timed impairments for robustness experiments.
+
+The paper's core observation is that real 802.11b links are unreliable
+and time-varying; this package makes that a first-class simulation
+input.  Build a :class:`FaultSchedule` from the fault models and install
+it on a scenario before running.
+"""
+
+from repro.faults.models import (
+    BLACKOUT_LOSS_DB,
+    ClockJitter,
+    Fault,
+    InterferenceBurst,
+    LinkFade,
+    NodeCrash,
+    link_blackout,
+)
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "BLACKOUT_LOSS_DB",
+    "ClockJitter",
+    "Fault",
+    "FaultSchedule",
+    "InterferenceBurst",
+    "LinkFade",
+    "NodeCrash",
+    "link_blackout",
+]

@@ -1,0 +1,130 @@
+"""The fault schedule: timed application of faults to one scenario.
+
+A :class:`FaultSchedule` collects :class:`~repro.faults.models.Fault`
+objects, validates them against a network, and installs apply/revert
+events on the scenario's simulator.  Every transition is traced under
+the ``fault`` category, so analysis code (and the determinism tests) can
+see exactly when each impairment held.
+
+Typical use::
+
+    net = build_network([0, 10], seed=7)
+    schedule = FaultSchedule([
+        link_blackout(start_s=5.0, duration_s=5.0, node_a=0, node_b=1),
+        NodeCrash(start_s=12.0, duration_s=3.0, node=1),
+    ])
+    schedule.install(net)
+    net.run(20.0)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.errors import FaultError
+from repro.faults.models import Fault, InterferenceBurst
+from repro.sim.engine import EventHandle
+from repro.units import s_to_ns
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.common import ScenarioNetwork
+
+
+class FaultSchedule:
+    """An ordered set of faults bound to one network at install time."""
+
+    def __init__(self, faults: Iterable[Fault] = ()):
+        self._faults: list[Fault] = []
+        self._handles: list[EventHandle] = []
+        self._installed_on: "ScenarioNetwork | None" = None
+        for fault in faults:
+            self.add(fault)
+
+    def add(self, fault: Fault) -> "FaultSchedule":
+        """Append a fault; returns self for chaining."""
+        if self._installed_on is not None:
+            raise FaultError("cannot add faults to an installed schedule")
+        if not isinstance(fault, Fault):
+            raise FaultError(f"expected a Fault, got {type(fault).__name__}")
+        self._faults.append(fault)
+        return self
+
+    @property
+    def faults(self) -> tuple[Fault, ...]:
+        """The faults, in insertion order."""
+        return tuple(self._faults)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self._faults)
+
+    def describe(self) -> str:
+        """One line per fault, in time order."""
+        ordered = sorted(self._faults, key=lambda fault: fault.start_s)
+        return "\n".join(fault.describe() for fault in ordered)
+
+    def _check_burst_overlaps(self) -> None:
+        """Noise rises don't stack; reject overlapping bursts per node."""
+        bursts = [f for f in self._faults if isinstance(f, InterferenceBurst)]
+        for i, first in enumerate(bursts):
+            for second in bursts[i + 1 :]:
+                shared = (
+                    first.nodes is None
+                    or second.nodes is None
+                    or set(first.nodes) & set(second.nodes)
+                )
+                overlap = (
+                    first.end_s is None or second.start_s < first.end_s
+                ) and (second.end_s is None or first.start_s < second.end_s)
+                if shared and overlap:
+                    raise FaultError(
+                        f"overlapping interference bursts on a shared node: "
+                        f"{first.describe()} vs {second.describe()}"
+                    )
+
+    def install(self, net: "ScenarioNetwork") -> None:
+        """Validate every fault and schedule its transitions on ``net``.
+
+        Must be called before the simulation reaches the earliest fault
+        start; a schedule installs on exactly one network.
+        """
+        if self._installed_on is not None:
+            raise FaultError("schedule is already installed")
+        now_s = net.sim.now_s
+        for fault in self._faults:
+            if fault.start_s < now_s:
+                raise FaultError(
+                    f"{fault.describe()} starts before the current "
+                    f"simulation time ({now_s:g} s)"
+                )
+            fault.validate(net)
+        self._check_burst_overlaps()
+        self._installed_on = net
+        for fault in self._faults:
+            self._handles.append(
+                net.sim.schedule_at(
+                    s_to_ns(fault.start_s), self._apply, fault, net
+                )
+            )
+            if fault.end_s is not None:
+                self._handles.append(
+                    net.sim.schedule_at(
+                        s_to_ns(fault.end_s), self._revert, fault, net
+                    )
+                )
+
+    def cancel(self) -> None:
+        """Drop all not-yet-fired transitions (active faults stay applied)."""
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+    def _apply(self, fault: Fault, net: "ScenarioNetwork") -> None:
+        net.tracer.emit(net.sim.now_ns, "fault", "apply", kind=fault.kind)
+        fault.apply(net)
+
+    def _revert(self, fault: Fault, net: "ScenarioNetwork") -> None:
+        net.tracer.emit(net.sim.now_ns, "fault", "revert", kind=fault.kind)
+        fault.revert(net)

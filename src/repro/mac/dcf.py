@@ -113,6 +113,7 @@ class MacCounters:
     """Per-station MIB-style counters."""
 
     data_tx: int = 0
+    flushed_frames: int = 0
     rts_tx: int = 0
     cts_tx: int = 0
     ack_tx: int = 0
@@ -228,6 +229,7 @@ class MacStation(PhyListener):
         self._await_timeout_ns = self._sifs_ns + plcp_ns + 2 * self._slot_ns
 
         # Contention state.
+        self._down = False
         self._queue: deque[tuple[Any, int, int]] = deque()
         self._work: _TxWork | None = None
         self._cw = ContentionWindow(self._mac)
@@ -280,6 +282,11 @@ class MacStation(PhyListener):
         """True while an MSDU is queued or being transmitted."""
         return self._work is not None or bool(self._queue)
 
+    @property
+    def down(self) -> bool:
+        """True between :meth:`shutdown` and :meth:`restart`."""
+        return self._down
+
     def set_receive_callback(self, callback: ReceiveCallback) -> None:
         """``callback(msdu, src_address)`` on every delivered MSDU."""
         self._receive_callback = callback
@@ -294,6 +301,9 @@ class MacStation(PhyListener):
         """Hand an MSDU to the MAC.  Returns False on queue overflow."""
         if msdu_bytes <= 0:
             raise ConfigurationError(f"MSDU must be > 0 bytes, got {msdu_bytes}")
+        if self._down:
+            self.counters.queue_drops += 1
+            return False
         if len(self._queue) >= self._config.max_queue_frames:
             self.counters.queue_drops += 1
             return False
@@ -301,12 +311,70 @@ class MacStation(PhyListener):
         self._ensure_access_pending()
         return True
 
+    # ------------------------------------------- lifecycle (fault injection)
+
+    def _timers(self) -> tuple[Timer, ...]:
+        return (
+            self._access_timer,
+            self._await_timer,
+            self._response_timer,
+            self._nav_reset_timer,
+        )
+
+    def shutdown(self) -> None:
+        """Crash the MAC: flush the queue, cancel every pending timer.
+
+        Models a power failure, so nothing is signalled to upper layers —
+        queued MSDUs simply vanish (counted in ``flushed_frames``).  The
+        station's transceiver must be powered off by the caller first;
+        :meth:`repro.net.node.Node.crash` does both in order.
+        """
+        if self._down:
+            return
+        self._down = True
+        self.counters.flushed_frames += len(self._queue)
+        if self._work is not None:
+            self.counters.flushed_frames += 1
+        self._queue.clear()
+        self._work = None
+        for timer in self._timers():
+            timer.cancel()
+        self._nav.reset()
+        self._tx_context = None
+        self._awaiting = None
+        self._await_grace = False
+        self._pending_response = None
+        self._post_backoff_pending = False
+        self._backoff = Backoff(self._mac)
+        self._cw.reset()
+        self._needs_eifs = False
+        self._idle_since_ns = None
+        self._trace("shutdown")
+
+    def restart(self) -> None:
+        """Reboot after :meth:`shutdown` with factory-fresh receiver state."""
+        if not self._down:
+            return
+        self._down = False
+        self._dup_cache.clear()
+        self._frag_progress.clear()
+        self._seq_counter = 0
+        self._idle_since_ns = self._sim.now_ns if not self._medium_busy() else None
+        self._trace("restart")
+
+    def set_clock_jitter(self, jitter: Callable[[int], int] | None) -> None:
+        """Perturb every MAC timer's delay (clock-skew fault injection)."""
+        for timer in self._timers():
+            timer.set_jitter(jitter)
+
     # --------------------------------------------------- medium tracking
 
     def _medium_busy(self) -> bool:
         return self._phy.cs_busy or self._nav.busy
 
     def _on_medium_state_change(self) -> None:
+        if self._down:
+            return
         busy = self._medium_busy()
         now = self._sim.now_ns
         if busy and self._idle_since_ns is not None:
@@ -330,6 +398,8 @@ class MacStation(PhyListener):
 
     def _ensure_access_pending(self) -> None:
         """Make sure the contention machinery will eventually fire."""
+        if self._down:
+            return
         if self._tx_context or self._pending_response or self._awaiting:
             return
         if self._work is None and not self._backoff.pending:

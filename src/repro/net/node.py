@@ -102,11 +102,41 @@ class Node:
         self.ip = IpLayer(self.mac, self.routing)
         self.udp = UdpProtocol(self.ip)
         self.tcp = TcpProtocol(sim, self.ip, stack.tcp, tracer=tracer)
+        self._alive = True
 
     @property
     def position_m(self) -> Position:
         """The node's position on the field."""
         return self.phy.position_m
+
+    @property
+    def alive(self) -> bool:
+        """False between :meth:`crash` and :meth:`reboot`."""
+        return self._alive
+
+    def crash(self) -> None:
+        """Power the station down mid-run (fault injection).
+
+        The radio goes deaf, the MAC queue and all pending MAC timers
+        are flushed, and every TCP connection's in-flight state is
+        dropped without a FIN — the full amnesia of a power failure.
+        Applications holding references to this node keep running; their
+        sends fail at the MAC until :meth:`reboot`.
+        """
+        if not self._alive:
+            return
+        self._alive = False
+        self.phy.power_off()
+        self.mac.shutdown()
+        self.tcp.abort_all()
+
+    def reboot(self) -> None:
+        """Bring a crashed station back with factory-fresh MAC/PHY state."""
+        if self._alive:
+            return
+        self._alive = True
+        self.phy.power_on()
+        self.mac.restart()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Node({self.address} @ {self.position_m})"

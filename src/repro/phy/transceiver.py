@@ -100,8 +100,11 @@ class Transceiver:
         self._locked_start_ns = 0
         self._interference_log: list[tuple[int, float]] = []
         self._cs_busy = False
+        self._powered = True
+        self._noise_rise_db = 0.0
         self._noise_mw = dbm_to_mw(radio.noise_floor_dbm)
         self._cs_threshold_mw = dbm_to_mw(radio.cs_threshold_dbm)
+        self._tx_handle = None
         medium.attach(self)
 
     # ------------------------------------------------------------- wiring
@@ -136,6 +139,56 @@ class Transceiver:
         """Summed received power of all audible signals."""
         return sum(self._signals.values())
 
+    @property
+    def powered(self) -> bool:
+        """False while the radio is crashed/powered down."""
+        return self._powered
+
+    @property
+    def noise_rise_db(self) -> float:
+        """Current noise-floor elevation (fault injection)."""
+        return self._noise_rise_db
+
+    def set_noise_rise_db(self, rise_db: float) -> None:
+        """Elevate (or restore, with 0) the effective noise floor.
+
+        Models wide-band interference — microwave ovens, co-channel
+        bursts — that degrades SINR at this receiver without being a
+        decodable or carrier-sensable signal.
+        """
+        self._noise_rise_db = rise_db
+        self._noise_mw = dbm_to_mw(self._radio.noise_floor_dbm + rise_db)
+
+    def power_off(self) -> None:
+        """Crash the radio: stop hearing the medium, abandon TX/RX.
+
+        No listener callbacks fire — the caller is expected to reset the
+        MAC as part of the same crash (see :meth:`repro.net.node.Node.crash`).
+        A transmission already on the air keeps propagating to receivers
+        (the energy has left the antenna); only its local completion
+        callback is dropped.
+        """
+        if not self._powered:
+            return
+        self._powered = False
+        if self._tx_handle is not None:
+            self._tx_handle.cancel()
+            self._tx_handle = None
+        self._locked_signal = None
+        self._interference_log = []
+        self._signals.clear()
+        self._state = PhyState.IDLE
+        self._cs_busy = False
+        self._trace("power_off")
+
+    def power_on(self) -> None:
+        """Reboot the radio.  Signals already in flight stay unheard."""
+        if self._powered:
+            return
+        self._powered = True
+        self._trace("power_on")
+        self._update_cs()
+
     # --------------------------------------------------------------- MAC
 
     def transmit(self, plan: TransmissionPlan, mac_frame: Any) -> int:
@@ -145,6 +198,8 @@ class Transceiver:
         transmission that starts while a reception is in progress aborts
         the reception (half-duplex radio).
         """
+        if not self._powered:
+            raise MacError(f"{self.name}: transmit while powered off")
         if self._state is PhyState.TX:
             raise MacError(f"{self.name}: transmit while already transmitting")
         if self._state is PhyState.RX:
@@ -154,11 +209,12 @@ class Transceiver:
             self, PhyFrame(mac_frame, plan), plan.duration_ns, self._radio.tx_power_dbm
         )
         self._trace("tx_start", frame=type(mac_frame).__name__, dur_ns=signal.duration_ns)
-        self._sim.schedule(plan.duration_ns, self._finish_tx)
+        self._tx_handle = self._sim.schedule(plan.duration_ns, self._finish_tx)
         self._update_cs()
         return plan.duration_ns
 
     def _finish_tx(self) -> None:
+        self._tx_handle = None
         self._state = PhyState.IDLE
         self._trace("tx_end")
         self._update_cs()
@@ -168,6 +224,8 @@ class Transceiver:
 
     def on_signal_start(self, signal: Signal, rx_power_dbm: float) -> None:
         """Medium callback: a signal's energy reaches us."""
+        if not self._powered:
+            return
         self._signals[signal.signal_id] = dbm_to_mw(rx_power_dbm)
         if self._state is PhyState.RX:
             self._note_interference_change()
@@ -178,6 +236,8 @@ class Transceiver:
 
     def on_signal_end(self, signal: Signal) -> None:
         """Medium callback: a signal fades out at our position."""
+        if not self._powered:
+            return
         self._signals.pop(signal.signal_id, None)
         if self._locked_signal is signal:
             self._finish_reception(signal)

@@ -8,9 +8,11 @@ number breaks heap ties), which makes simulations bit-for-bit reproducible.
 from __future__ import annotations
 
 import heapq
+import time
+from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import SchedulingError
+from repro.errors import SchedulingError, SimulationError, WatchdogTimeout
 from repro.units import ns_to_s, s_to_ns
 
 
@@ -51,6 +53,30 @@ class EventHandle:
             callback(*args)
 
 
+@dataclass(frozen=True)
+class Watchdog:
+    """Runaway-simulation guard attached to a :class:`Simulator`.
+
+    Unlike :meth:`Simulator.run`'s ``max_events`` argument — a quiet
+    pagination break — an exhausted watchdog budget *raises*
+    :class:`~repro.errors.WatchdogTimeout`, so a livelocked scenario
+    (e.g. two faulty MACs ping-ponging zero-delay events) surfaces as a
+    structured failure instead of spinning forever.
+
+    ``invariant`` is an optional hook called every ``invariant_interval``
+    events with the simulator; returning ``False`` (or raising) aborts
+    the run — use it for cheap cross-layer consistency checks.
+    """
+
+    max_events: int | None = None
+    max_wall_s: float | None = None
+    invariant: Callable[["Simulator"], bool | None] | None = None
+    invariant_interval: int = 1000
+    #: Wall-clock rechecks happen every this many events (the syscall is
+    #: too slow to pay on every event).
+    wall_check_interval: int = 512
+
+
 class Simulator:
     """Event heap + clock.
 
@@ -61,13 +87,15 @@ class Simulator:
         sim.run(until_s=10.0)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, watchdog: Watchdog | None = None) -> None:
         self._heap: list[tuple[int, int, EventHandle]] = []
         self._now_ns = 0
         self._sequence = 0
         self._running = False
         self._stopped = False
+        self._closed = False
         self._events_processed = 0
+        self.watchdog = watchdog
 
     @property
     def now_ns(self) -> int:
@@ -93,6 +121,8 @@ class Simulator:
         self, time_ns: int, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
+        if self._closed:
+            raise SchedulingError("cannot schedule on a shut-down simulator")
         if time_ns < self._now_ns:
             raise SchedulingError(
                 f"cannot schedule at {time_ns} ns: clock is already at "
@@ -138,6 +168,12 @@ class Simulator:
             raise SchedulingError(
                 f"horizon {until_ns} ns is before current time {self._now_ns} ns"
             )
+        if self._closed:
+            raise SchedulingError("cannot run a shut-down simulator")
+        watchdog = self.watchdog
+        deadline = None
+        if watchdog is not None and watchdog.max_wall_s is not None:
+            deadline = time.monotonic() + watchdog.max_wall_s
         self._stopped = False
         self._running = True
         fired = 0
@@ -155,6 +191,8 @@ class Simulator:
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     break
+                if watchdog is not None:
+                    self._check_watchdog(watchdog, fired, deadline)
         finally:
             self._running = False
         if until_ns is not None and not self._stopped and (
@@ -162,9 +200,48 @@ class Simulator:
         ):
             self._now_ns = max(self._now_ns, until_ns)
 
+    def _check_watchdog(
+        self, watchdog: Watchdog, fired: int, deadline: float | None
+    ) -> None:
+        if watchdog.max_events is not None and fired >= watchdog.max_events:
+            raise WatchdogTimeout(
+                f"watchdog: {fired} events fired in one run "
+                f"(budget {watchdog.max_events}) at t={self.now_s:.6f} s"
+            )
+        if (
+            deadline is not None
+            and fired % watchdog.wall_check_interval == 0
+            and time.monotonic() > deadline
+        ):
+            raise WatchdogTimeout(
+                f"watchdog: wall-clock budget of {watchdog.max_wall_s} s "
+                f"exhausted after {fired} events at t={self.now_s:.6f} s"
+            )
+        if (
+            watchdog.invariant is not None
+            and fired % watchdog.invariant_interval == 0
+            and watchdog.invariant(self) is False
+        ):
+            raise SimulationError(
+                f"watchdog: invariant violated at t={self.now_s:.6f} s "
+                f"after {fired} events"
+            )
+
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
+
+    def shutdown(self) -> None:
+        """Stop permanently: drop all events; further use raises.
+
+        After shutdown both :meth:`run` and the ``schedule*`` family
+        raise :class:`~repro.errors.SchedulingError` — a component whose
+        timers outlive the scenario fails loudly instead of silently
+        queueing work that will never run.
+        """
+        self.stop()
+        self.clear()
+        self._closed = True
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left untouched)."""

@@ -25,6 +25,7 @@ class Timer:
         self._callback = callback
         self._name = name
         self._handle: EventHandle | None = None
+        self._jitter: Callable[[int], int] | None = None
 
     @property
     def name(self) -> str:
@@ -43,9 +44,21 @@ class Timer:
             return None
         return self._handle.time_ns
 
+    def set_jitter(self, jitter: Callable[[int], int] | None) -> None:
+        """Install (or clear) a delay-perturbation hook.
+
+        Every subsequent :meth:`start` passes its delay through
+        ``jitter`` (clamped to >= 0).  This is the clock-skew hook the
+        fault-injection layer uses; an already-armed timer is not
+        re-jittered.
+        """
+        self._jitter = jitter
+
     def start(self, delay_ns: int, *args: Any) -> None:
         """(Re)arm the timer to fire after ``delay_ns`` nanoseconds."""
         self.cancel()
+        if self._jitter is not None:
+            delay_ns = max(0, self._jitter(delay_ns))
         self._handle = self._sim.schedule(delay_ns, self._fire, *args)
 
     def start_s(self, delay_s: float, *args: Any) -> None:

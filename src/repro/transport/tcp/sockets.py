@@ -78,6 +78,23 @@ class TcpProtocol:
         """Hand a segment to the IP layer."""
         return self._ip.send(segment, segment.size_bytes, dst, TransportProtocol.TCP.value)
 
+    @property
+    def connection_count(self) -> int:
+        """Number of live entries in the connection table."""
+        return len(self._connections)
+
+    def abort_all(self) -> None:
+        """Crash support: drop every connection without a FIN exchange.
+
+        In-flight state is lost exactly as on a real power failure; the
+        peer learns of the abort only through its own retransmission
+        timeouts.  Listeners survive — a rebooted server accepts new
+        connections on the same ports.
+        """
+        for connection in list(self._connections.values()):
+            connection.abort()
+        self._connections.clear()
+
     def _allocate_port(self) -> int:
         while any(key[0] == self._next_ephemeral for key in self._connections):
             self._next_ephemeral += 1

@@ -1,0 +1,63 @@
+"""The fault-resilience experiment family (shortened for test runtime)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fault_resilience import (
+    format_link_blackout,
+    format_node_crash,
+    run_link_blackout,
+    run_node_crash,
+)
+
+
+class TestLinkBlackout:
+    def test_throughput_degrades_then_recovers(self):
+        result = run_link_blackout(duration_s=6.0, blackout_s=2.0, seed=1)
+        before, during, after = result.phases
+        assert before.label == "before"
+        assert during.label == "blackout"
+        assert result.degraded  # outage visibly suppressed goodput
+        assert before.mbps > 1.0
+        assert after.mbps > 1.0  # recovered once the link returned
+        assert result.packets_received > 0
+        assert result.mac_retries > 0  # the MAC fought the outage
+
+    def test_too_short_duration_rejected(self):
+        with pytest.raises(ConfigurationError, match="clean"):
+            run_link_blackout(duration_s=5.0, blackout_s=5.0)
+
+    def test_format_reports_verdict(self):
+        result = run_link_blackout(duration_s=6.0, blackout_s=2.0, seed=1)
+        text = format_link_blackout(result)
+        assert "fault-blackout" in text
+        assert "degraded, then recovered" in text
+        assert "MAC retries" in text
+
+
+class TestNodeCrash:
+    def test_tcp_recovers_on_fresh_connection(self):
+        result = run_node_crash(
+            duration_s=7.0, crash_s=2.0, downtime_s=2.0, seed=1
+        )
+        assert result.recovered
+        assert result.connections_seen == 2
+        assert result.old_connection_reason == "aborted"
+        assert result.bytes_after_reboot > 0
+        before, down, after = result.phases
+        assert before.mbps > 0.5
+        assert down.mbps == 0.0
+        assert after.mbps > 0.5
+
+    def test_too_short_duration_rejected(self):
+        with pytest.raises(ConfigurationError, match="reboot"):
+            run_node_crash(duration_s=5.0, crash_s=3.0, downtime_s=2.0)
+
+    def test_format_reports_verdict(self):
+        result = run_node_crash(
+            duration_s=7.0, crash_s=2.0, downtime_s=2.0, seed=1
+        )
+        text = format_node_crash(result)
+        assert "fault-crash" in text
+        assert "recovered on a fresh connection" in text
+        assert "aborted" in text

@@ -1,0 +1,145 @@
+"""Engine guards: watchdog budgets, shutdown, invariant hook."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError, WatchdogTimeout
+from repro.sim.engine import Simulator, Watchdog
+
+
+def spin(sim):
+    """An event that reschedules itself forever at the same instant."""
+    sim.schedule(0, spin, sim)
+
+
+class TestEventBudget:
+    def test_event_budget_raises(self):
+        sim = Simulator(watchdog=Watchdog(max_events=500))
+        spin(sim)
+        with pytest.raises(WatchdogTimeout, match="budget 500"):
+            sim.run()
+
+    def test_budget_is_per_run_not_cumulative(self):
+        sim = Simulator(watchdog=Watchdog(max_events=10))
+        for index in range(8):
+            sim.schedule(index + 1, lambda: None)
+        sim.run()  # 8 events: inside budget
+        for index in range(8):
+            sim.schedule(index + 1, lambda: None)
+        sim.run()  # fresh budget per run() call
+        assert sim.events_processed == 16
+
+    def test_normal_run_unaffected_under_budget(self):
+        sim = Simulator(watchdog=Watchdog(max_events=100))
+        fired = []
+        sim.schedule(5, fired.append, "a")
+        sim.run(until_ns=10)
+        assert fired == ["a"]
+        assert sim.now_ns == 10
+
+    def test_max_events_run_argument_still_breaks_quietly(self):
+        # The run(max_events=...) pagination API predates the watchdog
+        # and must keep its silent-break semantics.
+        sim = Simulator(watchdog=Watchdog(max_events=50))
+        spin(sim)
+        sim.run(max_events=10)
+        assert sim.events_processed == 10
+
+
+class TestWallClockBudget:
+    def test_wall_clock_budget_raises_on_livelock(self):
+        sim = Simulator(
+            watchdog=Watchdog(max_wall_s=0.05, wall_check_interval=64)
+        )
+        spin(sim)
+        with pytest.raises(WatchdogTimeout, match="wall-clock"):
+            sim.run()
+
+
+class TestInvariantHook:
+    def test_invariant_returning_false_raises(self):
+        sim = Simulator(
+            watchdog=Watchdog(
+                invariant=lambda s: s.events_processed < 30,
+                invariant_interval=10,
+            )
+        )
+        spin(sim)
+        with pytest.raises(SimulationError, match="invariant violated"):
+            sim.run()
+
+    def test_invariant_exception_propagates(self):
+        def check(sim):
+            raise ValueError("inconsistent NAV")
+
+        sim = Simulator(watchdog=Watchdog(invariant=check, invariant_interval=5))
+        spin(sim)
+        with pytest.raises(ValueError, match="inconsistent NAV"):
+            sim.run()
+
+    def test_healthy_invariant_does_not_interfere(self):
+        calls = []
+        sim = Simulator(
+            watchdog=Watchdog(invariant=lambda s: calls.append(1) or True,
+                              invariant_interval=10)
+        )
+        for index in range(35):
+            sim.schedule(index + 1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 35
+        assert len(calls) == 3  # at events 10, 20, 30
+
+
+class TestShutdown:
+    def test_schedule_after_shutdown_raises(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.shutdown()
+        with pytest.raises(SchedulingError, match="shut-down"):
+            sim.schedule(200, lambda: None)
+        with pytest.raises(SchedulingError, match="shut-down"):
+            sim.schedule_at(500, lambda: None)
+
+    def test_run_after_shutdown_raises(self):
+        sim = Simulator()
+        sim.shutdown()
+        with pytest.raises(SchedulingError):
+            sim.run(until_s=1.0)
+
+    def test_shutdown_drops_pending_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "never")
+        sim.shutdown()
+        assert sim.pending_events == 0
+        assert fired == []
+
+    def test_shutdown_from_inside_an_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, sim.shutdown)
+        sim.schedule(200, fired.append, "after")
+        sim.run()
+        assert fired == []
+
+
+class TestHandleCancellation:
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(10, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        handle.cancel()  # already fired: must be a no-op
+        handle.cancel()  # and idempotent
+        assert handle.cancelled
+        sim.schedule(20, fired.append, "y")
+        sim.run()
+        assert fired == ["x", "y"]
+
+    def test_cancel_before_fire_still_works(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(10, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []

@@ -22,7 +22,11 @@ class TestRegistry:
         }
         diagrams = {"figure1", "scenarios"}
         extensions = {"arf", "delay", "link-lifetime"}
-        assert paper_artefacts | diagrams | extensions == set(EXPERIMENTS)
+        resilience = {"fault-blackout", "fault-crash"}
+        assert (
+            paper_artefacts | diagrams | extensions | resilience
+            == set(EXPERIMENTS)
+        )
 
     def test_unknown_name_raises_with_hint(self):
         with pytest.raises(ExperimentError, match="figure2"):
@@ -53,4 +57,26 @@ class TestCli:
 
     def test_unknown_experiment_fails(self, capsys):
         assert main(["nonsense"]) == 1
-        assert "error" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "error" in err
+        # One line of diagnosis, not a traceback dump.
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_report_file_written(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(["table2", "--report", str(report_path)]) == 0
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["succeeded"] == 1
+        assert report["results"][0]["name"] == "table2"
+        assert report["results"][0]["status"] == "ok"
+
+    def test_failure_yields_one_line_error_and_nonzero_exit(self, capsys):
+        # A negative horizon raises SchedulingError inside the experiment;
+        # the runner must degrade it to a one-line error, not a traceback.
+        assert main(["figure2", "--duration", "-1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: figure2:")
+        assert "Traceback" not in err
