@@ -13,7 +13,9 @@ PROBES = 120
 def test_bench_figure3(benchmark):
     curves = run_once(benchmark, run_figure3, probes=PROBES)
     save_artifact(
-        "figure3", format_loss_curves(curves, "Figure 3 - loss vs distance")
+        "figure3",
+        format_loss_curves(curves, "Figure 3 - loss vs distance"),
+        benchmark=benchmark,
     )
 
     by_rate = {curve.rate.mbps: curve for curve in curves}

@@ -8,7 +8,7 @@ PROBES = 120
 
 def test_bench_table3(benchmark):
     estimates = run_once(benchmark, run_table3, probes=PROBES)
-    save_artifact("table3", format_table3(estimates))
+    save_artifact("table3", format_table3(estimates), benchmark=benchmark)
 
     for estimate in estimates:
         assert estimate.within_band, (

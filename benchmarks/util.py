@@ -4,6 +4,9 @@ Every bench regenerates one table or figure of the paper, times it with
 pytest-benchmark (single round — these are simulations, not
 microbenchmarks) and writes the paper-style rendering to
 ``benchmarks/output/<name>.txt`` so the artefacts survive the run.
+The artefact path is recorded in the benchmark's ``extra_info`` so a
+``--benchmark-json`` report links every timing back to the rendered
+table it produced.
 """
 
 from __future__ import annotations
@@ -12,16 +15,32 @@ from pathlib import Path
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
+#: The benchmark fixture of the bench currently running.  ``run_once``
+#: records it so ``save_artifact`` can attach the artefact path to the
+#: right benchmark without every bench threading the fixture through.
+#: Benches run one at a time in a pytest process, so a plain module
+#: global is safe.
+_active_benchmark = None
 
-def save_artifact(name: str, text: str) -> Path:
-    """Persist one bench's rendered table/figure."""
+
+def save_artifact(name: str, text: str, benchmark=None) -> Path:
+    """Persist one bench's rendered table/figure.
+
+    The path is recorded as ``extra_info["artifact"]`` on ``benchmark``
+    (explicitly passed, or the one from the enclosing ``run_once``).
+    """
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    target = benchmark if benchmark is not None else _active_benchmark
+    if target is not None:
+        target.extra_info["artifact"] = str(path)
     return path
 
 
 def run_once(benchmark, function, *args, **kwargs):
     """Time ``function`` with a single benchmark round."""
+    global _active_benchmark
+    _active_benchmark = benchmark
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1,
                               iterations=1)

@@ -24,6 +24,11 @@ class Signal:
     """One frame in flight on the medium."""
 
     __slots__ = ("signal_id", "source", "frame", "tx_power_dbm", "start_ns", "end_ns")
+    #: Fallback id stream for directly constructed signals (tests,
+    #: tools).  The medium passes ``signal_id`` explicitly from its own
+    #: per-instance counter, so two live mediums in one process — e.g.
+    #: a sweep worker running scenarios back to back — never perturb
+    #: each other's id sequences.
     _ids = itertools.count(1)
 
     def __init__(
@@ -33,8 +38,9 @@ class Signal:
         tx_power_dbm: float,
         start_ns: int,
         end_ns: int,
+        signal_id: int | None = None,
     ):
-        self.signal_id = next(Signal._ids)
+        self.signal_id = signal_id if signal_id is not None else next(Signal._ids)
         self.source = source
         self.frame = frame
         self.tx_power_dbm = tx_power_dbm
@@ -88,10 +94,21 @@ class Medium:
         self._channel = channel
         self._delivery_floor_dbm = delivery_floor_dbm
         self._devices: list[MediumDevice] = []
+        self._device_set: set[int] = set()
         self._loss_hooks: list[LossHook] = []
-        # Signal ids restart per medium so two runs of the same scenario
-        # produce bit-identical traces within one process.
-        Signal._ids = itertools.count(1)
+        # Per-medium id stream: signal ids restart at 1 for every medium,
+        # so runs of the same scenario produce bit-identical traces even
+        # with several mediums alive in one process (parallel workers,
+        # test suites).  Mutating ``Signal._ids`` here instead would let
+        # two live mediums corrupt each other's sequences.
+        self._signal_ids = itertools.count(1)
+        #: (id(source), id(receiver)) -> (tx_pos, rx_pos, base_loss_db,
+        #: delay_ns).  Positions are immutable tuples replaced on every
+        #: move, so an identity check on the stored tuples detects
+        #: mobility without any explicit invalidation protocol.
+        self._pair_cache: dict[
+            tuple[int, int], tuple[Position, Position, float, int]
+        ] = {}
 
     @property
     def channel(self) -> ChannelModel:
@@ -105,9 +122,10 @@ class Medium:
 
     def attach(self, device: MediumDevice) -> None:
         """Connect a transceiver to this medium."""
-        if device in self._devices:
+        if id(device) in self._device_set:
             raise MediumError(f"device {device!r} is already attached")
         self._devices.append(device)
+        self._device_set.add(id(device))
 
     def add_loss_hook(self, hook: LossHook) -> None:
         """Register extra per-link loss (fault injection: fades, blackouts).
@@ -142,28 +160,55 @@ class Medium:
         Returns the :class:`Signal`, whose ``end_ns`` tells the caller when
         its own transmission completes.
         """
-        if source not in self._devices:
+        if id(source) not in self._device_set:
             raise MediumError("transmitting device is not attached to the medium")
         if duration_ns <= 0:
             raise MediumError(f"signal duration must be > 0 ns, got {duration_ns}")
         now = self._sim.now_ns
-        signal = Signal(source, frame, tx_power_dbm, now, now + duration_ns)
+        signal = Signal(
+            source,
+            frame,
+            tx_power_dbm,
+            now,
+            now + duration_ns,
+            signal_id=next(self._signal_ids),
+        )
+        # Hot path: one pass per attached receiver per frame.  The
+        # geometry (path loss + static shadowing + propagation delay) is
+        # cached per directed pair and revalidated by position-tuple
+        # identity; only the per-frame terms are computed fresh.
+        channel = self._channel
+        hooks = self._loss_hooks
+        pair_cache = self._pair_cache
+        floor_dbm = self._delivery_floor_dbm
+        schedule = self._sim.schedule
+        source_id = id(source)
+        source_pos = source.position_m
         for device in self._devices:
             if device is source:
                 continue
-            loss_db = self._channel.loss_db(
-                source.position_m,
-                device.position_m,
-                id(source),
-                id(device),
-                now,
-            )
-            for hook in self._loss_hooks:
-                loss_db += hook(source, device, now)
+            device_pos = device.position_m
+            pair_key = (source_id, id(device))
+            entry = pair_cache.get(pair_key)
+            if (
+                entry is None
+                or entry[0] is not source_pos
+                or entry[1] is not device_pos
+            ):
+                base_db = channel.base_loss_db(
+                    source_pos, device_pos, source_id, pair_key[1]
+                )
+                delay_ns = self.propagation_delay_ns(source_pos, device_pos)
+                entry = (source_pos, device_pos, base_db, delay_ns)
+                pair_cache[pair_key] = entry
+            loss_db = entry[2] + channel.variable_loss_db(now)
+            if hooks:
+                for hook in hooks:
+                    loss_db += hook(source, device, now)
             rx_power_dbm = tx_power_dbm - loss_db
-            if rx_power_dbm < self._delivery_floor_dbm:
+            if rx_power_dbm < floor_dbm:
                 continue
-            delay_ns = self.propagation_delay_ns(source.position_m, device.position_m)
-            self._sim.schedule(delay_ns, device.on_signal_start, signal, rx_power_dbm)
-            self._sim.schedule(delay_ns + duration_ns, device.on_signal_end, signal)
+            delay_ns = entry[3]
+            schedule(delay_ns, device.on_signal_start, signal, rx_power_dbm)
+            schedule(delay_ns + duration_ns, device.on_signal_end, signal)
         return signal

@@ -88,6 +88,32 @@ class ChannelModel:
             self._static_db[key] = self._rng.gauss(0.0, self.static_sigma_db)
         return self._static_db[key]
 
+    def base_loss_db(
+        self,
+        tx_position: Position,
+        rx_position: Position,
+        tx_key: Hashable,
+        rx_key: Hashable,
+    ) -> float:
+        """The loss components that are constant while positions hold.
+
+        Path loss is pure geometry and the static shadowing term is
+        drawn once per link, so the medium caches this sum per
+        (source, receiver) pair and recomputes it only when a position
+        tuple is replaced (mobility tick, placement change).
+        """
+        loss = self.propagation.path_loss_db(distance_m(tx_position, rx_position))
+        return loss + self._static_link_db(tx_key, rx_key)
+
+    def variable_loss_db(self, time_ns: int) -> float:
+        """The per-frame loss components (fast shadowing + weather)."""
+        loss = 0.0
+        if self.fast_sigma_db > 0.0:
+            loss = self._rng.gauss(0.0, self.fast_sigma_db)
+        if self.weather is not None:
+            loss += self.weather.offset_db(time_ns)
+        return loss
+
     def loss_db(
         self,
         tx_position: Position,
@@ -97,10 +123,6 @@ class ChannelModel:
         time_ns: int,
     ) -> float:
         """Total link loss for one frame transmitted at ``time_ns``."""
-        loss = self.propagation.path_loss_db(distance_m(tx_position, rx_position))
-        loss += self._static_link_db(tx_key, rx_key)
-        if self.fast_sigma_db > 0.0:
-            loss += self._rng.gauss(0.0, self.fast_sigma_db)
-        if self.weather is not None:
-            loss += self.weather.offset_db(time_ns)
-        return loss
+        return self.base_loss_db(
+            tx_position, rx_position, tx_key, rx_key
+        ) + self.variable_loss_db(time_ns)

@@ -5,13 +5,20 @@ Regenerates the paper's tables and figures from the terminal::
     repro80211 list
     repro80211 table2
     repro80211 figure3 --probes 300 --seed 7
-    repro80211 fault-blackout --duration 20
+    repro80211 table3 --jobs 4                  # fan sweep points across 4 workers
+    repro80211 figure3 --no-cache               # force re-simulation
+    repro80211 list --clear-cache               # drop every cached sweep point
+    repro80211 profile figure3 --probes 100     # cProfile top-N report
     repro80211 all --duration 5 --probes 100 --timeout 120 --report run.json
 
 Every run goes through the hardened experiment runner: a failing or
 hung experiment produces a one-line error and a structured failure
 record instead of a traceback, and the rest of an ``all`` batch still
-completes.
+completes.  Sweep-shaped experiments fan their independent points
+across ``--jobs`` worker processes and reuse results from the
+content-addressed cache under ``~/.cache/repro-sweeps`` (or
+``--cache-dir``); output is bit-identical whatever the worker count or
+cache temperature.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Sequence
 
 from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.runner import ExperimentResult, RunnerConfig, run_suite
+from repro.parallel import SweepCache
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,7 +42,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'list' to enumerate, or 'all'",
+        help=(
+            "experiment name, 'list' to enumerate, 'all' for everything, "
+            "or 'profile' (with an experiment name) for a cProfile report"
+        ),
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="experiment to profile (only with the 'profile' command)",
     )
     parser.add_argument(
         "--seed", type=int, default=1, help="master random seed (default 1)"
@@ -50,6 +67,35 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=200,
         help="probe frames per distance point in range sweeps (default 200)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for sweep points (default 1 = in-process "
+            "serial; results are identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "sweep result cache directory (default ~/.cache/repro-sweeps "
+            "or $REPRO_SWEEP_CACHE_DIR)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the sweep result cache (neither read nor write)",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete all cached sweep results before running",
     )
     parser.add_argument(
         "--timeout",
@@ -95,15 +141,47 @@ def _print_result(result: ExperimentResult) -> None:
         )
 
 
+def _profile(args: argparse.Namespace) -> int:
+    from repro.profiling import profile_experiment
+
+    if args.target is None:
+        print("error: profile needs an experiment name", file=sys.stderr)
+        return 2
+    try:
+        print(
+            profile_experiment(
+                args.target,
+                seed=args.seed,
+                duration_s=args.duration,
+                probes=args.probes,
+            )
+        )
+    except BrokenPipeError:  # pragma: no cover - output piped to head
+        pass
+    except Exception as error:  # noqa: BLE001 - one-line CLI surface
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    cache = None
+    if not args.no_cache:
+        cache = SweepCache(root=args.cache_dir)
+    if args.clear_cache:
+        target_cache = cache if cache is not None else SweepCache(root=args.cache_dir)
+        removed = target_cache.clear()
+        print(f"cleared {removed} cached sweep points from {target_cache.root}")
     if args.experiment == "list":
         try:
             print(_list_experiments())
         except BrokenPipeError:  # pragma: no cover - `repro list | head`
             pass
         return 0
+    if args.experiment == "profile":
+        return _profile(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     config = RunnerConfig(timeout_s=args.timeout, max_retries=max(0, args.retries))
     try:
@@ -114,6 +192,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             probes=args.probes,
             config=config,
             on_result=_print_result,
+            jobs=max(1, args.jobs),
+            cache=cache,
         )
         if len(names) > 1:
             print(report.format_summary())

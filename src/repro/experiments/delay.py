@@ -19,6 +19,7 @@ from repro.apps.sink import UdpSink
 from repro.core.params import Rate
 from repro.core.throughput_model import ThroughputModel
 from repro.experiments.common import build_network
+from repro.parallel import SweepCache, SweepPoint, run_sweep
 
 _PORT = 5001
 
@@ -37,6 +38,41 @@ class DelayPoint:
     p99_delay_s: float
 
 
+def delay_point(
+    rate_mbps: float,
+    payload_bytes: int,
+    load_fraction: float,
+    duration_s: float,
+    warmup_s: float,
+    seed: int,
+) -> list[float]:
+    """Sweep-engine point: ``[offered, delivered, mean_delay, p99]``
+    for one offered load."""
+    rate = Rate.from_mbps(rate_mbps)
+    capacity_bps = ThroughputModel().max_throughput_bps(payload_bytes, rate)
+    offered_bps = load_fraction * capacity_bps
+    net = build_network([0, 10], data_rate=rate, seed=seed, fast_sigma_db=0.0)
+    sink = UdpSink(net[1], port=_PORT, warmup_s=warmup_s)
+    CbrSource(
+        net[0],
+        dst=2,
+        dst_port=_PORT,
+        payload_bytes=payload_bytes,
+        rate_bps=offered_bps,
+        timestamped=True,
+    )
+    net.run(duration_s)
+    return [
+        offered_bps,
+        sink.throughput_bps(duration_s),
+        sink.delays.mean_s,
+        sink.delays.percentile_s(0.99),
+    ]
+
+
+_DELAY_POINT = "repro.experiments.delay:delay_point"
+
+
 def run_delay_sweep(
     rate: Rate = Rate.MBPS_11,
     payload_bytes: int = 512,
@@ -44,35 +80,41 @@ def run_delay_sweep(
     duration_s: float = 5.0,
     warmup_s: float = 1.0,
     seed: int = 1,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
 ) -> list[DelayPoint]:
     """One delay measurement per offered load."""
-    capacity_bps = ThroughputModel().max_throughput_bps(payload_bytes, rate)
-    points = []
-    for fraction in load_fractions:
-        offered_bps = fraction * capacity_bps
-        net = build_network(
-            [0, 10], data_rate=rate, seed=seed, fast_sigma_db=0.0
-        )
-        sink = UdpSink(net[1], port=_PORT, warmup_s=warmup_s)
-        CbrSource(
-            net[0],
-            dst=2,
-            dst_port=_PORT,
-            payload_bytes=payload_bytes,
-            rate_bps=offered_bps,
-            timestamped=True,
-        )
-        net.run(duration_s)
-        points.append(
-            DelayPoint(
-                load_fraction=fraction,
-                offered_bps=offered_bps,
-                delivered_bps=sink.throughput_bps(duration_s),
-                mean_delay_s=sink.delays.mean_s,
-                p99_delay_s=sink.delays.percentile_s(0.99),
+    values = run_sweep(
+        [
+            SweepPoint(
+                _DELAY_POINT,
+                {
+                    "rate_mbps": rate.mbps,
+                    "payload_bytes": payload_bytes,
+                    "load_fraction": fraction,
+                    "duration_s": duration_s,
+                    "warmup_s": warmup_s,
+                    "seed": seed,
+                },
             )
+            for fraction in load_fractions
+        ],
+        jobs=jobs,
+        cache=cache,
+        policy=policy,
+    )
+    return [
+        DelayPoint(
+            load_fraction=fraction,
+            offered_bps=offered_bps,
+            delivered_bps=delivered_bps,
+            mean_delay_s=mean_delay_s,
+            p99_delay_s=p99_delay_s,
         )
-    return points
+        for fraction, (offered_bps, delivered_bps, mean_delay_s, p99_delay_s)
+        in zip(load_fractions, values)
+    ]
 
 
 def format_delay_sweep(points: list[DelayPoint], rate: Rate) -> str:

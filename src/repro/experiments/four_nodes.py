@@ -34,6 +34,7 @@ from repro.channel.placement import (
 from repro.core.params import Rate
 from repro.errors import ExperimentError
 from repro.experiments.common import build_network
+from repro.parallel import SweepCache, SweepPoint, run_sweep
 
 _BASE_PORT = 5001
 
@@ -129,55 +130,150 @@ def run_four_node_scenario(
     )
 
 
+_PLACEMENTS = {
+    "figure6": figure6_placement,
+    "figure8": figure8_placement,
+    "figure10": figure10_placement,
+}
+
+
+def panel_point(
+    placement: str,
+    rate_mbps: float,
+    transport: str,
+    rts_cts: bool,
+    sessions: list,
+    duration_s: float,
+    seed: int,
+) -> list:
+    """Sweep-engine point: one (transport, RTS/CTS) four-node panel.
+
+    Returns ``[scenario, [[label, kbps], [label, kbps]]]`` — JSON
+    primitives the caller folds back into a :class:`FourNodeResult`.
+    """
+    if placement not in _PLACEMENTS:
+        raise ExperimentError(f"unknown placement {placement!r}")
+    result = run_four_node_scenario(
+        _PLACEMENTS[placement](),
+        Rate.from_mbps(rate_mbps),
+        transport,
+        rts_cts,
+        sessions=tuple((int(tx), int(rx)) for tx, rx in sessions),
+        duration_s=duration_s,
+        seed=seed,
+    )
+    return [
+        result.scenario,
+        [[session.label, session.kbps] for session in result.sessions],
+    ]
+
+
+_PANEL_POINT = "repro.experiments.four_nodes:panel_point"
+
+
 def _run_figure(
-    placement: Placement,
+    placement_name: str,
     rate: Rate,
     sessions,
     duration_s: float,
     seed: int,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
 ) -> list[FourNodeResult]:
-    results = []
-    for transport in ("udp", "tcp"):
-        for rts_cts in (False, True):
-            results.append(
-                run_four_node_scenario(
-                    placement,
-                    rate,
-                    transport,
-                    rts_cts,
-                    sessions=sessions,
-                    duration_s=duration_s,
-                    seed=seed,
-                )
+    panels = [
+        (transport, rts_cts)
+        for transport in ("udp", "tcp")
+        for rts_cts in (False, True)
+    ]
+    values = run_sweep(
+        [
+            SweepPoint(
+                _PANEL_POINT,
+                {
+                    "placement": placement_name,
+                    "rate_mbps": rate.mbps,
+                    "transport": transport,
+                    "rts_cts": rts_cts,
+                    "sessions": [list(session) for session in sessions],
+                    "duration_s": duration_s,
+                    "seed": seed,
+                },
             )
-    return results
+            for transport, rts_cts in panels
+        ],
+        jobs=jobs,
+        cache=cache,
+        policy=policy,
+    )
+    return [
+        FourNodeResult(
+            scenario=scenario,
+            rate=rate,
+            transport=transport,
+            rts_cts=rts_cts,
+            sessions=tuple(
+                SessionThroughput(label=label, kbps=kbps)
+                for label, kbps in session_rows
+            ),
+        )
+        for (transport, rts_cts), (scenario, session_rows) in zip(panels, values)
+    ]
 
 
-def run_figure7(duration_s: float = 10.0, seed: int = 1) -> list[FourNodeResult]:
+def run_figure7(
+    duration_s: float = 10.0,
+    seed: int = 1,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
+) -> list[FourNodeResult]:
     """Figure 7: asymmetric scenario at 11 Mbps (25 / 80 / 25 m)."""
     return _run_figure(
-        figure6_placement(), Rate.MBPS_11, ASYMMETRIC_SESSIONS, duration_s, seed
+        "figure6", Rate.MBPS_11, ASYMMETRIC_SESSIONS, duration_s, seed,
+        jobs=jobs, cache=cache, policy=policy,
     )
 
 
-def run_figure9(duration_s: float = 10.0, seed: int = 1) -> list[FourNodeResult]:
+def run_figure9(
+    duration_s: float = 10.0,
+    seed: int = 1,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
+) -> list[FourNodeResult]:
     """Figure 9: asymmetric scenario at 2 Mbps (25 / 90 / 25 m)."""
     return _run_figure(
-        figure8_placement(), Rate.MBPS_2, ASYMMETRIC_SESSIONS, duration_s, seed
+        "figure8", Rate.MBPS_2, ASYMMETRIC_SESSIONS, duration_s, seed,
+        jobs=jobs, cache=cache, policy=policy,
     )
 
 
-def run_figure11(duration_s: float = 10.0, seed: int = 1) -> list[FourNodeResult]:
+def run_figure11(
+    duration_s: float = 10.0,
+    seed: int = 1,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
+) -> list[FourNodeResult]:
     """Figure 11: symmetric scenario at 11 Mbps (25 / 60 / 25 m)."""
     return _run_figure(
-        figure10_placement(), Rate.MBPS_11, SYMMETRIC_SESSIONS, duration_s, seed
+        "figure10", Rate.MBPS_11, SYMMETRIC_SESSIONS, duration_s, seed,
+        jobs=jobs, cache=cache, policy=policy,
     )
 
 
-def run_figure12(duration_s: float = 10.0, seed: int = 1) -> list[FourNodeResult]:
+def run_figure12(
+    duration_s: float = 10.0,
+    seed: int = 1,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
+) -> list[FourNodeResult]:
     """Figure 12: symmetric scenario at 2 Mbps (25 / 60 / 25 m)."""
     return _run_figure(
-        figure10_placement(), Rate.MBPS_2, SYMMETRIC_SESSIONS, duration_s, seed
+        "figure10", Rate.MBPS_2, SYMMETRIC_SESSIONS, duration_s, seed,
+        jobs=jobs, cache=cache, policy=policy,
     )
 
 

@@ -22,6 +22,7 @@ from repro.channel.mobility import walk_away
 from repro.channel.propagation import TwoRayGroundPathLoss
 from repro.core.params import ALL_RATES, Rate
 from repro.experiments.common import build_network
+from repro.parallel import SweepCache, SweepPoint, run_sweep
 from repro.phy.radio import RadioParameters
 
 _PORT = 5001
@@ -103,17 +104,57 @@ def measure_link_lifetime(
     )
 
 
+def lifetime_point(
+    rate_mbps: float, speed_m_s: float, ns2_preset: bool, seed: int
+) -> float:
+    """Sweep-engine point: one link lifetime in seconds."""
+    return measure_link_lifetime(
+        Rate.from_mbps(rate_mbps), speed_m_s, ns2_preset, seed=seed
+    ).lifetime_s
+
+
+_LIFETIME_POINT = "repro.experiments.mobility:lifetime_point"
+
+
 def run_link_lifetimes(
-    speed_m_s: float = 10.0, seed: int = 1
+    speed_m_s: float = 10.0,
+    seed: int = 1,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
 ) -> list[LinkLifetime]:
     """Calibrated vs ns-2 lifetimes at every rate."""
-    results = []
-    for rate in reversed(ALL_RATES):
-        results.append(measure_link_lifetime(rate, speed_m_s, False, seed=seed))
-        results.append(
-            measure_link_lifetime(rate, speed_m_s, True, seed=seed)
+    grid = [
+        (rate, ns2_preset)
+        for rate in reversed(ALL_RATES)
+        for ns2_preset in (False, True)
+    ]
+    lifetimes = run_sweep(
+        [
+            SweepPoint(
+                _LIFETIME_POINT,
+                {
+                    "rate_mbps": rate.mbps,
+                    "speed_m_s": speed_m_s,
+                    "ns2_preset": ns2_preset,
+                    "seed": seed,
+                },
+            )
+            for rate, ns2_preset in grid
+        ],
+        jobs=jobs,
+        cache=cache,
+        policy=policy,
+    )
+    return [
+        LinkLifetime(
+            rate=rate,
+            radio_preset="ns-2" if ns2_preset else "calibrated",
+            speed_m_s=speed_m_s,
+            lifetime_s=lifetime_s,
         )
-    return results
+        for (rate, ns2_preset), lifetime_s in zip(grid, lifetimes)
+    ]
 
 
 def format_link_lifetimes(results: list[LinkLifetime]) -> str:

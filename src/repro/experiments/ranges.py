@@ -24,6 +24,7 @@ from repro.core.params import ALL_RATES, Dot11bConfig, MacParameters, Rate
 from repro.errors import ExperimentError
 from repro.experiments import paper
 from repro.experiments.common import build_network
+from repro.parallel import SweepCache, SweepPoint, run_sweep
 
 _PORT = 5001
 
@@ -98,6 +99,65 @@ def measure_loss_at(
     return max(0.0, 1.0 - sink.packets / source.packets_accepted)
 
 
+def loss_point(
+    rate_mbps: float,
+    distance_m: float,
+    probes: int,
+    seed: int,
+    payload_bytes: int = 512,
+    weather: dict | None = None,
+) -> float:
+    """Sweep-engine point function for one (rate, distance, seed) cell.
+
+    Parameters are JSON primitives so the point is picklable under any
+    start method and content-addressable by the result cache.
+    """
+    return measure_loss_at(
+        Rate.from_mbps(rate_mbps),
+        distance_m,
+        probes=probes,
+        seed=seed,
+        weather=DayConditions(**weather) if weather is not None else None,
+    )
+
+
+_LOSS_POINT = "repro.experiments.ranges:loss_point"
+
+
+def _weather_params(weather: DayConditions | None) -> dict | None:
+    if weather is None:
+        return None
+    return {
+        "name": weather.name,
+        "offset_db": weather.offset_db,
+        "sigma_db": weather.sigma_db,
+        "correlation_time_s": weather.correlation_time_s,
+    }
+
+
+def _loss_points(
+    rate: Rate,
+    distances_m: Sequence[float],
+    probes: int,
+    seed: int,
+    weather: DayConditions | None,
+) -> list[SweepPoint]:
+    """One point per distance, seeded exactly like the old serial loop."""
+    return [
+        SweepPoint(
+            _LOSS_POINT,
+            {
+                "rate_mbps": rate.mbps,
+                "distance_m": float(distance),
+                "probes": probes,
+                "seed": seed + int(distance),
+                "weather": _weather_params(weather),
+            },
+        )
+        for distance in distances_m
+    ]
+
+
 def run_loss_sweep(
     rate: Rate,
     distances_m: Sequence[float] = FIGURE3_DISTANCES_M,
@@ -105,23 +165,22 @@ def run_loss_sweep(
     seed: int = 1,
     weather: DayConditions | None = None,
     label: str | None = None,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
 ) -> LossCurve:
     """Loss rate at each distance for one rate."""
-    losses = tuple(
-        measure_loss_at(
-            rate,
-            distance,
-            probes=probes,
-            seed=seed + int(distance),
-            weather=weather,
-        )
-        for distance in distances_m
+    losses = run_sweep(
+        _loss_points(rate, distances_m, probes, seed, weather),
+        jobs=jobs,
+        cache=cache,
+        policy=policy,
     )
     return LossCurve(
         label=label if label is not None else str(rate),
         rate=rate,
         distances_m=tuple(distances_m),
-        loss_rates=losses,
+        loss_rates=tuple(losses),
     )
 
 
@@ -129,11 +188,31 @@ def run_figure3(
     probes: int = 200,
     seed: int = 1,
     distances_m: Sequence[float] = FIGURE3_DISTANCES_M,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
 ) -> list[LossCurve]:
-    """The four loss-vs-distance curves of Figure 3 (11 Mbps first)."""
+    """The four loss-vs-distance curves of Figure 3 (11 Mbps first).
+
+    All rates × distances go through one sweep call, so ``jobs`` workers
+    see the whole grid at once instead of one curve at a time.
+    """
+    rates = list(reversed(ALL_RATES))
+    points = [
+        point
+        for rate in rates
+        for point in _loss_points(rate, distances_m, probes, seed, None)
+    ]
+    losses = run_sweep(points, jobs=jobs, cache=cache, policy=policy)
+    stride = len(distances_m)
     return [
-        run_loss_sweep(rate, distances_m, probes=probes, seed=seed)
-        for rate in reversed(ALL_RATES)
+        LossCurve(
+            label=str(rate),
+            rate=rate,
+            distances_m=tuple(distances_m),
+            loss_rates=tuple(losses[index * stride : (index + 1) * stride]),
+        )
+        for index, rate in enumerate(rates)
     ]
 
 
@@ -141,18 +220,27 @@ def run_figure4(
     probes: int = 200,
     seed: int = 1,
     distances_m: Sequence[float] = FIGURE4_DISTANCES_M,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
 ) -> list[LossCurve]:
     """The 1 Mbps curve measured on two different days (Figure 4)."""
+    days = (DayConditions.good_day(), DayConditions.bad_day())
+    points = [
+        point
+        for day in days
+        for point in _loss_points(Rate.MBPS_1, distances_m, probes, seed, day)
+    ]
+    losses = run_sweep(points, jobs=jobs, cache=cache, policy=policy)
+    stride = len(distances_m)
     return [
-        run_loss_sweep(
-            Rate.MBPS_1,
-            distances_m,
-            probes=probes,
-            seed=seed,
-            weather=day,
+        LossCurve(
             label=day.name,
+            rate=Rate.MBPS_1,
+            distances_m=tuple(distances_m),
+            loss_rates=tuple(losses[index * stride : (index + 1) * stride]),
         )
-        for day in (DayConditions.good_day(), DayConditions.bad_day())
+        for index, day in enumerate(days)
     ]
 
 
@@ -177,13 +265,30 @@ def estimate_tx_range(curve: LossCurve, threshold: float = 0.5) -> float:
     return distances[-1]
 
 
-def run_table3(probes: int = 200, seed: int = 1) -> list[RangeEstimate]:
+def run_table3(
+    probes: int = 200,
+    seed: int = 1,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
+) -> list[RangeEstimate]:
     """Table 3: data ranges for all rates + control ranges at 2/1 Mbps."""
-    curves = {
-        rate: run_loss_sweep(
-            rate, FIGURE3_DISTANCES_M + (160.0,), probes=probes, seed=seed
-        )
+    distances = FIGURE3_DISTANCES_M + (160.0,)
+    points = [
+        point
         for rate in ALL_RATES
+        for point in _loss_points(rate, distances, probes, seed, None)
+    ]
+    losses = run_sweep(points, jobs=jobs, cache=cache, policy=policy)
+    stride = len(distances)
+    curves = {
+        rate: LossCurve(
+            label=str(rate),
+            rate=rate,
+            distances_m=distances,
+            loss_rates=tuple(losses[index * stride : (index + 1) * stride]),
+        )
+        for index, rate in enumerate(ALL_RATES)
     }
     estimates = [
         RangeEstimate(

@@ -36,55 +36,99 @@ class Experiment:
     run: Callable[..., str]
 
 
-def _table2(**kwargs) -> str:
-    return format_table2(run_table2())
+def _table2(jobs: int = 1, cache=None, policy=None, **kwargs) -> str:
+    return format_table2(run_table2(jobs=jobs, cache=cache, policy=policy))
 
 
-def _figure2(duration_s: float = 3.0, seed: int = 1, **kwargs) -> str:
-    return format_figure2(run_figure2(duration_s=duration_s, seed=seed))
-
-
-def _figure3(probes: int = 200, seed: int = 1, **kwargs) -> str:
-    return format_loss_curves(
-        run_figure3(probes=probes, seed=seed), "Figure 3 - loss vs distance"
+def _figure2(
+    duration_s: float = 3.0, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None, **kwargs,
+) -> str:
+    return format_figure2(
+        run_figure2(
+            duration_s=duration_s, seed=seed, jobs=jobs, cache=cache,
+            policy=policy,
+        )
     )
 
 
-def _figure4(probes: int = 200, seed: int = 1, **kwargs) -> str:
+def _figure3(
+    probes: int = 200, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None, **kwargs,
+) -> str:
     return format_loss_curves(
-        run_figure4(probes=probes, seed=seed),
+        run_figure3(probes=probes, seed=seed, jobs=jobs, cache=cache, policy=policy),
+        "Figure 3 - loss vs distance",
+    )
+
+
+def _figure4(
+    probes: int = 200, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None, **kwargs,
+) -> str:
+    return format_loss_curves(
+        run_figure4(probes=probes, seed=seed, jobs=jobs, cache=cache, policy=policy),
         "Figure 4 - 1 Mbps transmission range on two days",
     )
 
 
-def _table3(probes: int = 200, seed: int = 1, **kwargs) -> str:
-    return format_table3(run_table3(probes=probes, seed=seed))
+def _table3(
+    probes: int = 200, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None, **kwargs,
+) -> str:
+    return format_table3(
+        run_table3(probes=probes, seed=seed, jobs=jobs, cache=cache, policy=policy)
+    )
 
 
-def _figure7(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+def _figure7(
+    duration_s: float = 10.0, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None, **kwargs,
+) -> str:
     return format_four_node(
-        run_figure7(duration_s=duration_s, seed=seed),
+        run_figure7(
+            duration_s=duration_s, seed=seed, jobs=jobs, cache=cache,
+            policy=policy,
+        ),
         "Figure 7 - four stations, 11 Mbps, asymmetric (25/80/25 m)",
     )
 
 
-def _figure9(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+def _figure9(
+    duration_s: float = 10.0, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None, **kwargs,
+) -> str:
     return format_four_node(
-        run_figure9(duration_s=duration_s, seed=seed),
+        run_figure9(
+            duration_s=duration_s, seed=seed, jobs=jobs, cache=cache,
+            policy=policy,
+        ),
         "Figure 9 - four stations, 2 Mbps, asymmetric (25/90/25 m)",
     )
 
 
-def _figure11(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+def _figure11(
+    duration_s: float = 10.0, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None, **kwargs,
+) -> str:
     return format_four_node(
-        run_figure11(duration_s=duration_s, seed=seed),
+        run_figure11(
+            duration_s=duration_s, seed=seed, jobs=jobs, cache=cache,
+            policy=policy,
+        ),
         "Figure 11 - four stations, 11 Mbps, symmetric (25/60/25 m)",
     )
 
 
-def _figure12(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+def _figure12(
+    duration_s: float = 10.0, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None, **kwargs,
+) -> str:
     return format_four_node(
-        run_figure12(duration_s=duration_s, seed=seed),
+        run_figure12(
+            duration_s=duration_s, seed=seed, jobs=jobs, cache=cache,
+            policy=policy,
+        ),
         "Figure 12 - four stations, 2 Mbps, symmetric (25/60/25 m)",
     )
 
@@ -95,17 +139,27 @@ def _arf(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
     )
 
 
-def _delay(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+def _delay(
+    duration_s: float = 10.0, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None, **kwargs,
+) -> str:
     from repro.core.params import Rate
 
     return format_delay_sweep(
-        run_delay_sweep(duration_s=min(duration_s, 5.0), seed=seed),
+        run_delay_sweep(
+            duration_s=min(duration_s, 5.0), seed=seed, jobs=jobs,
+            cache=cache, policy=policy,
+        ),
         Rate.MBPS_11,
     )
 
 
-def _link_lifetime(seed: int = 1, **kwargs) -> str:
-    return format_link_lifetimes(run_link_lifetimes(seed=seed))
+def _link_lifetime(
+    seed: int = 1, jobs: int = 1, cache=None, policy=None, **kwargs
+) -> str:
+    return format_link_lifetimes(
+        run_link_lifetimes(seed=seed, jobs=jobs, cache=cache, policy=policy)
+    )
 
 
 def _fault_blackout(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:

@@ -4,6 +4,13 @@ Single runs of a stochastic simulation are point samples; publishable
 numbers need replications.  :func:`replicate` runs a seed-parametrised
 metric function across independent seeds and summarises the results
 with a Student-t confidence interval.
+
+Replications are independent by construction, so ``jobs > 1`` fans the
+seed list across a process pool via :func:`repro.parallel.pmap`; seeds
+are derived from the base seed alone (never from execution order), so
+the summary is bit-identical whatever the worker count.  The metric
+must then be picklable — a module-level function, not a lambda or
+closure.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from typing import Callable, Sequence
 
 from repro.analysis.stats import Summary, summarize
 from repro.errors import ExperimentError
+from repro.parallel import pmap
 
 MetricFn = Callable[[int], float]
 
@@ -21,6 +29,7 @@ def replicate(
     replications: int = 5,
     base_seed: int = 1,
     confidence: float = 0.95,
+    jobs: int = 1,
 ) -> Summary:
     """Run ``metric(seed)`` for ``replications`` independent seeds.
 
@@ -29,7 +38,7 @@ def replicate(
     """
     if replications < 1:
         raise ExperimentError("need at least one replication")
-    values = [metric(base_seed * 1000 + index) for index in range(replications)]
+    values = pmap(metric, seeds_for(replications, base_seed), jobs=jobs)
     return summarize(values, confidence=confidence)
 
 
@@ -37,10 +46,11 @@ def replicate_many(
     metrics: dict[str, MetricFn],
     replications: int = 5,
     base_seed: int = 1,
+    jobs: int = 1,
 ) -> dict[str, Summary]:
     """Replicate several named metrics with matched seeds."""
     return {
-        name: replicate(metric, replications, base_seed)
+        name: replicate(metric, replications, base_seed, jobs=jobs)
         for name, metric in metrics.items()
     }
 

@@ -183,11 +183,19 @@ def run_experiment(
     probes: int = 200,
     config: RunnerConfig | None = None,
     experiments: Mapping[str, Experiment] | None = None,
+    jobs: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     """Run one experiment under the robustness policy.
 
     Never raises for experiment failures: lookup errors, crashes,
     timeouts and exhausted retries all come back as failure records.
+
+    ``jobs``/``cache`` flow into sweep-based experiments, which fan
+    their independent points across a process pool and a
+    content-addressed result cache (:mod:`repro.parallel`).  The
+    ``config`` policy travels with them, so per-point timeout/retry
+    applies inside pool workers too.
     """
     if config is None:
         config = RunnerConfig()
@@ -208,7 +216,12 @@ def run_experiment(
         try:
             result.output = _Attempt(
                 lambda: experiment.run(
-                    seed=attempt_seed, duration_s=duration_s, probes=probes
+                    seed=attempt_seed,
+                    duration_s=duration_s,
+                    probes=probes,
+                    jobs=jobs,
+                    cache=cache,
+                    policy=config,
                 )
             ).run(config.timeout_s)
             result.status = "ok"
@@ -242,6 +255,8 @@ def run_suite(
     config: RunnerConfig | None = None,
     experiments: Mapping[str, Experiment] | None = None,
     on_result: Callable[[ExperimentResult], None] | None = None,
+    jobs: int = 1,
+    cache=None,
 ) -> SuiteReport:
     """Run a batch of experiments with per-experiment isolation.
 
@@ -260,6 +275,8 @@ def run_suite(
             probes=probes,
             config=config,
             experiments=experiments,
+            jobs=jobs,
+            cache=cache,
         )
         results.append(result)
         if on_result is not None:

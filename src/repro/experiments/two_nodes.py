@@ -15,7 +15,9 @@ from repro.apps.cbr import CbrSource
 from repro.apps.sink import UdpSink
 from repro.core.params import Rate
 from repro.core.throughput_model import ThroughputModel
+from repro.errors import ExperimentError
 from repro.experiments.common import build_network
+from repro.parallel import SweepCache, SweepPoint, run_sweep
 
 #: Port both workloads use at the receiver.
 _PORT = 5001
@@ -59,35 +61,97 @@ def _run_tcp(rate, rts_cts, duration_s, warmup_s, seed) -> float:
     return receiver.throughput_bps(duration_s) / 1e6
 
 
+def measured_point(
+    rate_mbps: float,
+    transport: str,
+    rts_cts: bool,
+    payload_bytes: int,
+    duration_s: float,
+    warmup_s: float,
+    seed: int,
+) -> float:
+    """Sweep-engine point: one measured Figure-2 panel in Mbps."""
+    rate = Rate.from_mbps(rate_mbps)
+    if transport == "udp":
+        return _run_udp(rate, rts_cts, payload_bytes, duration_s, warmup_s, seed)
+    if transport == "tcp":
+        return _run_tcp(rate, rts_cts, duration_s, warmup_s, seed)
+    raise ExperimentError(f"unknown transport {transport!r}")
+
+
+def udp_trace_point(
+    rate_mbps: float,
+    distance_m: float,
+    duration_s: float,
+    payload_bytes: int,
+    seed: int,
+) -> list[int]:
+    """Receive timestamps (ns) of a saturated two-node UDP run.
+
+    Returns the full delivery trace rather than an aggregate, so tests
+    can assert that parallel and serial execution are bit-identical at
+    the event level, not just in the summary statistics.
+    """
+    net = build_network(
+        [0, distance_m], data_rate=Rate.from_mbps(rate_mbps), seed=seed
+    )
+    sink = UdpSink(net[1], port=_PORT)
+    CbrSource(net[0], dst=2, dst_port=_PORT, payload_bytes=payload_bytes)
+    net.run(duration_s)
+    return [int(time_ns) for time_ns in sink.rx_times_ns]
+
+
+_MEASURED_POINT = "repro.experiments.two_nodes:measured_point"
+
+
 def run_figure2(
     rate: Rate = Rate.MBPS_11,
     payload_bytes: int = 512,
     duration_s: float = 3.0,
     warmup_s: float = 0.3,
     seed: int = 1,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
 ) -> list[Figure2Result]:
     """All four panels of Figure 2 for one rate."""
     model = ThroughputModel()
-    results = []
-    for transport in ("udp", "tcp"):
-        for rts_cts in (False, True):
-            ideal = model.max_throughput_bps(payload_bytes, rate, rts_cts) / 1e6
-            if transport == "udp":
-                measured = _run_udp(
-                    rate, rts_cts, payload_bytes, duration_s, warmup_s, seed
-                )
-            else:
-                measured = _run_tcp(rate, rts_cts, duration_s, warmup_s, seed)
-            results.append(
-                Figure2Result(
-                    rate=rate,
-                    transport=transport,
-                    rts_cts=rts_cts,
-                    ideal_mbps=ideal,
-                    measured_mbps=measured,
-                )
+    panels = [
+        (transport, rts_cts)
+        for transport in ("udp", "tcp")
+        for rts_cts in (False, True)
+    ]
+    measured = run_sweep(
+        [
+            SweepPoint(
+                _MEASURED_POINT,
+                {
+                    "rate_mbps": rate.mbps,
+                    "transport": transport,
+                    "rts_cts": rts_cts,
+                    "payload_bytes": payload_bytes,
+                    "duration_s": duration_s,
+                    "warmup_s": warmup_s,
+                    "seed": seed,
+                },
             )
-    return results
+            for transport, rts_cts in panels
+        ],
+        jobs=jobs,
+        cache=cache,
+        policy=policy,
+    )
+    return [
+        Figure2Result(
+            rate=rate,
+            transport=transport,
+            rts_cts=rts_cts,
+            ideal_mbps=model.max_throughput_bps(payload_bytes, rate, rts_cts)
+            / 1e6,
+            measured_mbps=value,
+        )
+        for (transport, rts_cts), value in zip(panels, measured)
+    ]
 
 
 def format_figure2(results: list[Figure2Result]) -> str:

@@ -1,0 +1,25 @@
+"""Parallel sweep engine + content-addressed result cache.
+
+Public surface:
+
+* :class:`~repro.parallel.engine.SweepPoint` / :func:`~repro.parallel.engine.run_sweep`
+  — describe independent ``(scenario, seed)`` points and fan them
+  across a process pool, merging results in deterministic point order.
+* :func:`~repro.parallel.engine.pmap` — ordered parallel map for
+  picklable callables (the :func:`repro.experiments.replication` path).
+* :class:`~repro.parallel.cache.SweepCache` — content-addressed result
+  store keyed on canonical parameters + seed + code-version tag.
+"""
+
+from repro.parallel.cache import SweepCache, code_version_tag, default_cache_dir
+from repro.parallel.engine import SweepPoint, execute_point, pmap, run_sweep
+
+__all__ = [
+    "SweepCache",
+    "SweepPoint",
+    "code_version_tag",
+    "default_cache_dir",
+    "execute_point",
+    "pmap",
+    "run_sweep",
+]

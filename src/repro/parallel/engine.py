@@ -1,0 +1,261 @@
+"""Process-pool sweep engine for embarrassingly-parallel experiments.
+
+Every paper artefact is a grid of *independent* simulation points —
+``(scenario parameters, seed)`` tuples whose results are merged into a
+table or figure.  The engine fans those points across worker processes
+and merges results **in point order**, so parallel output is
+bit-identical to the serial path; ``jobs=1`` never touches
+``multiprocessing`` at all.
+
+Points are described, not closed over: a :class:`SweepPoint` names its
+function by dotted path (``"repro.experiments.ranges:loss_point"``) and
+carries a JSON-serialisable parameter mapping.  That makes points
+picklable under any start method (the engine is spawn-safe) and gives
+the :class:`~repro.parallel.cache.SweepCache` a canonical content
+address for each result.
+
+The hardened runner's per-point policy travels into the workers: a
+:class:`~repro.experiments.runner.RunnerConfig`-shaped object (anything
+with ``timeout_s`` / ``max_retries`` / ``retry_seed_step``) applies the
+same timeout + reseeded-retry semantics to each point, whether it runs
+in-process or in a pool worker.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro import errors as _errors
+from repro.errors import ExperimentError, SimulationError, WatchdogTimeout
+from repro.parallel.cache import SweepCache
+
+#: ``(timeout_s, max_retries, retry_seed_step)`` — the picklable form a
+#: runner policy takes on its way into a worker.
+PolicyTuple = tuple[float | None, int, int]
+
+_NO_POLICY: PolicyTuple = (None, 0, 0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent unit of sweep work.
+
+    ``fn`` is a dotted path ``"package.module:function"``; ``params``
+    are keyword arguments for it, restricted to JSON-serialisable values
+    so the point can be content-addressed and shipped to spawn workers.
+    """
+
+    fn: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+def resolve_point_fn(fn: str) -> Callable[..., Any]:
+    """Import and return the function a dotted ``module:name`` path names."""
+    module_name, _, attr = fn.partition(":")
+    if not module_name or not attr:
+        raise ExperimentError(
+            f"point function path must look like 'pkg.mod:fn', got {fn!r}"
+        )
+    try:
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+    except (ImportError, AttributeError) as error:
+        raise ExperimentError(f"cannot resolve point function {fn!r}: {error}")
+
+
+def _policy_tuple(policy: Any) -> PolicyTuple:
+    """Flatten a RunnerConfig-shaped object into a picklable tuple."""
+    if policy is None:
+        return _NO_POLICY
+    return (
+        getattr(policy, "timeout_s", None),
+        max(0, getattr(policy, "max_retries", 0)),
+        getattr(policy, "retry_seed_step", 0),
+    )
+
+
+class _TimedCall:
+    """Run a thunk under an optional wall-clock budget (same semantics
+    as the runner's ``_Attempt``: an expired call is abandoned, not
+    killed — pair with an engine watchdog when the leak matters)."""
+
+    def __init__(self, thunk: Callable[[], Any]):
+        self._thunk = thunk
+        self._value: Any = None
+        self._error: BaseException | None = None
+
+    def _target(self) -> None:
+        try:
+            self._value = self._thunk()
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            self._error = error
+
+    def __call__(self, timeout_s: float | None) -> Any:
+        if timeout_s is None:
+            self._target()
+        else:
+            worker = threading.Thread(target=self._target, daemon=True)
+            worker.start()
+            worker.join(timeout_s)
+            if worker.is_alive():
+                raise WatchdogTimeout(
+                    f"sweep point exceeded its {timeout_s:g}s wall-clock budget"
+                )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+def execute_point(fn: str, params: Mapping[str, Any], policy: PolicyTuple = _NO_POLICY) -> Any:
+    """Run one point under the (timeout, reseeded-retry) policy.
+
+    Retries — like the hardened runner — only fire on
+    :class:`~repro.errors.SimulationError` (kernel-level failures are
+    the seed-sensitive ones) and perturb the point's ``seed`` parameter,
+    when it has one, by ``retry_seed_step`` per attempt.
+    """
+    function = resolve_point_fn(fn)
+    timeout_s, max_retries, seed_step = policy
+    last_error: BaseException | None = None
+    for attempt in range(max_retries + 1):
+        kwargs = dict(params)
+        if attempt and "seed" in kwargs:
+            kwargs["seed"] = kwargs["seed"] + attempt * seed_step
+        try:
+            return _TimedCall(lambda: function(**kwargs))(timeout_s)
+        except SimulationError as error:
+            last_error = error
+    assert last_error is not None
+    raise last_error
+
+
+def _pool_worker(task: tuple[str, dict, PolicyTuple]) -> tuple[str, Any]:
+    """Top-level (hence spawn-picklable) worker: run a point, never raise.
+
+    Exceptions cross the process boundary as structured records so the
+    parent can re-raise the right type with the worker's traceback.
+    """
+    fn, params, policy = task
+    try:
+        return ("ok", execute_point(fn, params, policy))
+    except BaseException as error:  # noqa: BLE001 - serialised for the parent
+        return (
+            "err",
+            (type(error).__name__, str(error), traceback.format_exc()),
+        )
+
+
+def _reraise(fn: str, record: tuple[str, str, str]) -> None:
+    """Raise a worker failure in the parent with its original type when
+    it is one of ours (so runner retry/timeout semantics still apply)."""
+    error_type, message, worker_traceback = record
+    exc_class = getattr(_errors, error_type, None)
+    detail = f"sweep point {fn} failed: {message}"
+    if isinstance(exc_class, type) and issubclass(exc_class, Exception):
+        raise exc_class(detail)
+    raise ExperimentError(f"{detail}\n--- worker traceback ---\n{worker_traceback}")
+
+
+def _mp_context(start_method: str | None) -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap workers), spawn otherwise.
+
+    The engine itself is spawn-safe — points are picklable descriptions
+    and the worker is a module-level function — so ``start_method`` may
+    force ``"spawn"`` (the tests do) at the cost of per-worker
+    interpreter start-up.
+    """
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(start_method)
+
+
+def run_sweep(
+    points: Sequence[SweepPoint | tuple[str, Mapping[str, Any]]],
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy: Any = None,
+    start_method: str | None = None,
+) -> list[Any]:
+    """Evaluate every point and return the values **in point order**.
+
+    ``jobs=1`` is the in-process serial path (no pool, exceptions
+    propagate with their original tracebacks); ``jobs>1`` fans cache
+    misses across a process pool.  With a ``cache``, hits are served
+    from disk and only misses are executed; either way the returned list
+    lines up index-for-index with ``points``, so parallel, serial and
+    warm-cache runs are interchangeable.
+    """
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    normalised = [
+        point if isinstance(point, SweepPoint) else SweepPoint(point[0], point[1])
+        for point in points
+    ]
+    results: list[Any] = [None] * len(normalised)
+    misses: list[int] = []
+    if cache is not None:
+        for index, point in enumerate(normalised):
+            hit, value = cache.lookup(point.fn, point.params)
+            if hit:
+                results[index] = value
+            else:
+                misses.append(index)
+    else:
+        misses = list(range(len(normalised)))
+
+    policy_tuple = _policy_tuple(policy)
+    if misses:
+        if jobs == 1 or len(misses) == 1:
+            for index in misses:
+                point = normalised[index]
+                results[index] = execute_point(
+                    point.fn, point.params, policy_tuple
+                )
+        else:
+            tasks = [
+                (normalised[index].fn, dict(normalised[index].params), policy_tuple)
+                for index in misses
+            ]
+            context = _mp_context(start_method)
+            processes = min(jobs, len(tasks))
+            chunksize = max(1, len(tasks) // (processes * 4))
+            with context.Pool(processes=processes) as pool:
+                outcomes = pool.map(_pool_worker, tasks, chunksize=chunksize)
+            for index, (status, payload) in zip(misses, outcomes):
+                if status != "ok":
+                    _reraise(normalised[index].fn, payload)
+                results[index] = payload
+        if cache is not None:
+            for index in misses:
+                point = normalised[index]
+                cache.put(point.fn, point.params, results[index])
+    return results
+
+
+def pmap(
+    function: Callable[[Any], Any],
+    items: Iterable[Any],
+    jobs: int = 1,
+    start_method: str | None = None,
+) -> list[Any]:
+    """Ordered parallel map for picklable callables (no cache layer).
+
+    The generic escape hatch :func:`repro.experiments.replication`
+    uses: ``function`` must be a module-level (hence picklable)
+    callable when ``jobs > 1``.
+    """
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    item_list = list(items)
+    if jobs == 1 or len(item_list) <= 1:
+        return [function(item) for item in item_list]
+    context = _mp_context(start_method)
+    processes = min(jobs, len(item_list))
+    with context.Pool(processes=processes) as pool:
+        return pool.map(function, item_list)

@@ -1,0 +1,44 @@
+"""Profiling harness: ``python -m repro.cli profile <experiment>``.
+
+Wraps one experiment run in :mod:`cProfile` and renders a top-N report
+(by cumulative and by self time), so every perf PR starts from the same
+baseline instead of a hand-rolled one-off script.  The profiled run is
+always serial and uncached — a pool would move the work out of the
+profiled process, and a cache hit would profile JSON decoding.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+from repro.experiments.registry import get_experiment
+
+
+def profile_experiment(
+    name: str,
+    seed: int = 1,
+    duration_s: float = 10.0,
+    probes: int = 200,
+    top: int = 25,
+) -> str:
+    """Run one registered experiment under cProfile; return the report."""
+    experiment = get_experiment(name)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        experiment.run(
+            seed=seed, duration_s=duration_s, probes=probes, jobs=1, cache=None
+        )
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs()
+    buffer.write(f"profile: {name} (seed={seed})\n")
+    buffer.write(f"\n=== top {top} by cumulative time ===\n")
+    stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(top)
+    buffer.write(f"\n=== top {top} by self time ===\n")
+    stats.sort_stats(pstats.SortKey.TIME).print_stats(top)
+    return buffer.getvalue()

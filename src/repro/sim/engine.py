@@ -23,17 +23,27 @@ class EventHandle:
     popped, which keeps both operations O(log n) / O(1).
     """
 
-    __slots__ = ("time_ns", "_callback", "_args", "_cancelled")
+    __slots__ = ("time_ns", "_callback", "_args", "_cancelled", "_sim")
 
-    def __init__(self, time_ns: int, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time_ns: int,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: "Simulator | None" = None,
+    ):
         self.time_ns = time_ns
         self._callback = callback
         self._args = args
         self._cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            if self._sim is not None:
+                self._sim._live_events -= 1
         self._callback = None
         self._args = ()
 
@@ -95,6 +105,7 @@ class Simulator:
         self._stopped = False
         self._closed = False
         self._events_processed = 0
+        self._live_events = 0
         self.watchdog = watchdog
 
     @property
@@ -114,8 +125,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events in the queue."""
-        return sum(1 for _, _, handle in self._heap if not handle.cancelled)
+        """Number of live (non-cancelled) events in the queue.
+
+        Maintained as a counter (incremented on schedule, decremented on
+        cancel/fire) rather than a heap scan, so watchdog invariant
+        hooks can poll it every few hundred events for free.
+        """
+        return self._live_events
 
     def schedule_at(
         self, time_ns: int, callback: Callable[..., None], *args: Any
@@ -128,8 +144,9 @@ class Simulator:
                 f"cannot schedule at {time_ns} ns: clock is already at "
                 f"{self._now_ns} ns"
             )
-        handle = EventHandle(time_ns, callback, args)
+        handle = EventHandle(time_ns, callback, args, self)
         self._sequence += 1
+        self._live_events += 1
         heapq.heappush(self._heap, (time_ns, self._sequence, handle))
         return handle
 
@@ -177,15 +194,24 @@ class Simulator:
         self._stopped = False
         self._running = True
         fired = 0
+        # Hot loop: bind everything invariant to locals — the heap, the
+        # pop, the horizon — so each event pays attribute lookups only
+        # for state that genuinely changes under it (``_stopped`` can be
+        # flipped by any callback).
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap and not self._stopped:
-                time_ns, _, handle = self._heap[0]
+            while heap and not self._stopped:
+                entry = heap[0]
+                time_ns = entry[0]
                 if until_ns is not None and time_ns > until_ns:
                     break
-                heapq.heappop(self._heap)
-                if handle.cancelled:
+                heappop(heap)
+                handle = entry[2]
+                if handle._cancelled:
                     continue
                 self._now_ns = time_ns
+                self._live_events -= 1
                 handle._fire()
                 self._events_processed += 1
                 fired += 1
@@ -248,3 +274,4 @@ class Simulator:
         for _, _, handle in self._heap:
             handle.cancel()
         self._heap.clear()
+        self._live_events = 0

@@ -89,9 +89,56 @@ class TestTransmit:
         b = medium.transmit(tx, "two", duration_ns=1000, tx_power_dbm=15.0)
         assert a.signal_id != b.signal_id
 
+    def test_signal_ids_are_per_medium(self):
+        # Two live mediums in one process must not perturb each other's
+        # id streams (worker determinism depends on it).
+        _, medium_a, (tx_a, _) = make_medium(0, 20)
+        _, medium_b, (tx_b, _) = make_medium(0, 20)
+        first_a = medium_a.transmit(tx_a, "f", duration_ns=1000, tx_power_dbm=15.0)
+        first_b = medium_b.transmit(tx_b, "f", duration_ns=1000, tx_power_dbm=15.0)
+        second_a = medium_a.transmit(tx_a, "f", duration_ns=1000, tx_power_dbm=15.0)
+        assert first_a.signal_id == 1
+        assert first_b.signal_id == 1
+        assert second_a.signal_id == 2
+
     def test_signal_duration_property(self):
         signal = Signal(None, "f", 15.0, 100, 400)
         assert signal.duration_ns == 300
+
+
+class TestPairCache:
+    def test_moving_a_device_recomputes_geometry(self):
+        sim, medium, (tx, rx) = make_medium(0, 10)
+        medium.transmit(tx, "near", duration_ns=1000, tx_power_dbm=15.0)
+        sim.run()
+        near_power = next(e for e in rx.events if e[0] == "start")[3]
+        rx.events.clear()
+        rx.position_m = (100.0, 0.0)  # mobility replaces the tuple
+        medium.transmit(tx, "far", duration_ns=1000, tx_power_dbm=15.0)
+        sim.run()
+        far_power = next(e for e in rx.events if e[0] == "start")[3]
+        # Calibrated log-distance model: 10 -> 100 m costs ~35 dB.
+        assert near_power - far_power == pytest.approx(35.0, abs=0.1)
+
+    def test_repeated_frames_reuse_cached_delay(self):
+        sim, medium, (tx, rx) = make_medium(0, 300)
+        for frame in ("a", "b"):
+            medium.transmit(tx, frame, duration_ns=100, tx_power_dbm=40.0)
+        sim.run()
+        starts = [e[1] for e in rx.events if e[0] == "start"]
+        # Both frames see the same ~1000 ns propagation delay.
+        assert starts[0] == pytest.approx(1000, abs=10)
+        assert starts[1] == starts[0]
+
+    def test_static_shadowing_survives_cache_reuse(self):
+        sim, medium, (tx, rx) = make_medium(0, 50, sigma=0.0)
+        medium._channel.static_sigma_db = 3.0
+        medium.transmit(tx, "a", duration_ns=1000, tx_power_dbm=15.0)
+        medium.transmit(tx, "b", duration_ns=1000, tx_power_dbm=15.0)
+        sim.run()
+        powers = [e[3] for e in rx.events if e[0] == "start"]
+        # The static link draw happens once; both frames share it.
+        assert powers[0] == powers[1]
 
 
 class TestValidation:

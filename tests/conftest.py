@@ -1,0 +1,13 @@
+"""Shared fixtures: keep the sweep cache out of the user's real $HOME."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_sweep_cache(tmp_path, monkeypatch):
+    """Point the default sweep-cache root at a per-test directory.
+
+    The CLI caches sweep results by default; without this, test runs
+    would read and write ``~/.cache/repro-sweeps``.
+    """
+    monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path / "sweep-cache"))

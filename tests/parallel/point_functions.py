@@ -1,0 +1,28 @@
+"""Importable point functions for engine tests (dotted-path resolvable)."""
+
+from repro.errors import SimulationError
+
+#: Seeds below this raise, so a reseeded retry (step >= the threshold)
+#: lands in the passing region — mirrors a seed-sensitive livelock.
+FLAKY_THRESHOLD = 100
+
+
+def square_point(value: int) -> int:
+    return value * value
+
+
+def flaky_point(seed: int) -> int:
+    if seed < FLAKY_THRESHOLD:
+        raise SimulationError(f"seed {seed} livelocked")
+    return seed
+
+
+def always_fails_point(seed: int) -> int:
+    raise ValueError("deterministic bug")
+
+
+def slow_point(seed: int) -> int:
+    import time
+
+    time.sleep(5.0)
+    return seed

@@ -88,6 +88,39 @@ class TestCancellation:
         handle.cancel()
         assert sim.pending_events == 1
 
+    def test_pending_events_counts_down_as_events_fire(self):
+        sim = Simulator()
+        seen = []
+        for delay in (100, 200, 300):
+            sim.schedule(delay, lambda: seen.append(sim.pending_events))
+        assert sim.pending_events == 3
+        sim.run()
+        # Each callback observes the events still queued behind it.
+        assert seen == [2, 1, 0]
+        assert sim.pending_events == 0
+
+    def test_pending_events_after_double_cancel_and_clear(self):
+        # The live counter must not double-decrement on repeated
+        # cancels or on clear() after manual cancels.
+        sim = Simulator()
+        handle = sim.schedule(100, lambda: None)
+        sim.schedule(200, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+        sim.clear()
+        assert sim.pending_events == 0
+        sim.schedule_at(sim.now_ns + 1, lambda: None)
+        assert sim.pending_events == 1
+
+    def test_cancel_after_fire_keeps_counter_consistent(self):
+        sim = Simulator()
+        handle = sim.schedule(100, lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+        handle.cancel()  # firing already consumed the event
+        assert sim.pending_events == 0
+
     def test_clear_drops_everything(self):
         sim = Simulator()
         fired = []

@@ -80,3 +80,53 @@ class TestCli:
         err = capsys.readouterr().err
         assert err.startswith("error: figure2:")
         assert "Traceback" not in err
+
+
+def _table_lines(out: str) -> list[str]:
+    # Drop the wall-clock status line; only it may vary between runs.
+    return [line for line in out.splitlines() if not line.startswith("[")]
+
+
+class TestSweepFlags:
+    def test_jobs_output_identical_to_serial(self, capsys):
+        assert main(["table2", "--no-cache"]) == 0
+        serial = _table_lines(capsys.readouterr().out)
+        assert main(["table2", "--no-cache", "--jobs", "2"]) == 0
+        parallel = _table_lines(capsys.readouterr().out)
+        assert serial == parallel
+
+    def test_warm_cache_output_identical(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["table2", "--cache-dir", cache_dir]) == 0
+        cold = _table_lines(capsys.readouterr().out)
+        assert main(["table2", "--cache-dir", cache_dir]) == 0
+        warm = _table_lines(capsys.readouterr().out)
+        assert cold == warm
+
+    def test_clear_cache_reports_removed_points(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["table2", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["list", "--cache-dir", cache_dir, "--clear-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared" in out
+        assert cache_dir in out
+
+
+class TestProfileCommand:
+    def test_profile_without_target_exits_2(self, capsys):
+        assert main(["profile"]) == 2
+        err = capsys.readouterr().err
+        assert "profile needs an experiment name" in err
+
+    def test_profile_table2(self, capsys):
+        assert main(["profile", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("profile: table2")
+        assert "ncalls" in out
+
+    def test_profile_unknown_target_exits_1(self, capsys):
+        assert main(["profile", "figure99"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err

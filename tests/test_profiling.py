@@ -1,0 +1,19 @@
+"""Tests for the cProfile harness behind ``repro80211 profile``."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.profiling import profile_experiment
+
+
+class TestProfileExperiment:
+    def test_report_contains_profile_sections(self):
+        report = profile_experiment("table2", top=10)
+        assert report.startswith("profile: table2")
+        assert "=== top 10 by cumulative time ===" in report
+        assert "=== top 10 by self time ===" in report
+        assert "ncalls" in report  # pstats table actually rendered
+
+    def test_unknown_experiment_propagates(self):
+        with pytest.raises(ExperimentError, match="figure99"):
+            profile_experiment("figure99")
