@@ -8,7 +8,7 @@ the naive one overestimates 11 Mbps throughput substantially.
 
 from benchmarks.util import run_once, save_artifact
 from repro.analysis.tables import render_table
-from repro.core.params import ALL_RATES, Dot11bConfig, HeaderRatePolicy, Rate
+from repro.core.params import ALL_RATES, Dot11bConfig, HeaderRatePolicy
 from repro.core.throughput_model import ThroughputModel
 
 

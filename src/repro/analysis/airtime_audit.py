@@ -63,10 +63,10 @@ class AirtimeAuditor:
 
     def airtime_share(self, name: str) -> float:
         """Fraction of the observed span a station spent transmitting."""
-        span = self.observed_span_ns
-        if span <= 0 or name not in self._stations:
+        span_ns = self.observed_span_ns
+        if span_ns <= 0 or name not in self._stations:
             return 0.0
-        return self._stations[name].airtime_ns / span
+        return self._stations[name].airtime_ns / span_ns
 
     def busy_fraction(self) -> float:
         """Fraction of the span *somebody* was transmitting.
@@ -74,10 +74,10 @@ class AirtimeAuditor:
         Upper-bounded by 1 in a single collision domain; values above 1
         reveal concurrent (potentially colliding) transmissions.
         """
-        span = self.observed_span_ns
-        if span <= 0:
+        span_ns = self.observed_span_ns
+        if span_ns <= 0:
             return 0.0
-        return sum(s.airtime_ns for s in self._stations.values()) / span
+        return sum(s.airtime_ns for s in self._stations.values()) / span_ns
 
     def report(self) -> str:
         """Per-station airtime table."""

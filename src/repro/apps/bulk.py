@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.errors import ConfigurationError
 from repro.net.node import Node
 from repro.transport.tcp.connection import TcpConnection
+from repro.units import ns_to_s, s_to_ns
 
 
 class BulkTcpReceiver:
@@ -19,7 +20,7 @@ class BulkTcpReceiver:
 
     def __init__(self, node: Node, port: int, warmup_s: float = 0.0):
         self._node = node
-        self._warmup_ns = round(warmup_s * 1e9)
+        self._warmup_ns = s_to_ns(warmup_s)
         self.bytes = 0
         self.bytes_after_warmup = 0
         self.connections: list[TcpConnection] = []
@@ -42,7 +43,7 @@ class BulkTcpReceiver:
     def throughput_bps(self, horizon_s: float, warmup_s: float | None = None) -> float:
         """Application-level goodput over [warmup, horizon]."""
         if warmup_s is None:
-            warmup_s = self._warmup_ns / 1e9
+            warmup_s = ns_to_s(self._warmup_ns)
         window = horizon_s - warmup_s
         if window <= 0:
             return 0.0

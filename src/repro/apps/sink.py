@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.analysis.meters import DelayMeter
 from repro.net.node import Node
+from repro.units import ns_to_s, s_to_ns
 
 
 class UdpSink:
@@ -11,7 +12,7 @@ class UdpSink:
 
     def __init__(self, node: Node, port: int, warmup_s: float = 0.0):
         self._node = node
-        self._warmup_ns = round(warmup_s * 1e9)
+        self._warmup_ns = s_to_ns(warmup_s)
         self._socket = node.udp.bind(port)
         self._socket.on_receive(self._on_datagram)
         self.packets = 0
@@ -37,7 +38,7 @@ class UdpSink:
         elif isinstance(payload, tuple) and len(payload) == 2:
             sequence, sent_s = payload
             self.sequences.append(sequence)
-            self.delays.record(sent_s, now / 1e9)
+            self.delays.record(sent_s, ns_to_s(now))
         if self.first_rx_ns is None:
             self.first_rx_ns = now
         self.last_rx_ns = now
@@ -49,7 +50,7 @@ class UdpSink:
     def throughput_bps(self, horizon_s: float, warmup_s: float | None = None) -> float:
         """Application-level goodput over [warmup, horizon]."""
         if warmup_s is None:
-            warmup_s = self._warmup_ns / 1e9
+            warmup_s = ns_to_s(self._warmup_ns)
         window = horizon_s - warmup_s
         if window <= 0:
             return 0.0

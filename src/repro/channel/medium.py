@@ -29,6 +29,10 @@ class Signal:
     #: per-instance counter, so two live mediums in one process — e.g.
     #: a sweep worker running scenarios back to back — never perturb
     #: each other's id sequences.
+    # simlint: waive[SL401] -- deliberate shared fallback: only direct
+    # Signal() construction (tests, tools) draws from it; every signal a
+    # Medium emits carries an explicit per-medium id, so simulations
+    # never observe this counter's state.
     _ids = itertools.count(1)
 
     def __init__(
@@ -94,7 +98,16 @@ class Medium:
         self._channel = channel
         self._delivery_floor_dbm = delivery_floor_dbm
         self._devices: list[MediumDevice] = []
-        self._device_set: set[int] = set()
+        # Device identity is a per-medium, monotonically assigned index
+        # (the device's position in ``_devices``).  The dict holds a
+        # strong reference to every attached device and hashes it by
+        # object identity, so — unlike the ``id()`` keys this replaces —
+        # a detached-and-collected device can never alias a newly
+        # created one after CPython reuses its id.  The indices are also
+        # stable run to run, which id() values never were, so anything
+        # keyed on them (the pair cache, static shadowing draws) is
+        # reproducible by construction.
+        self._device_indices: dict[MediumDevice, int] = {}
         self._loss_hooks: list[LossHook] = []
         # Per-medium id stream: signal ids restart at 1 for every medium,
         # so runs of the same scenario produce bit-identical traces even
@@ -102,10 +115,11 @@ class Medium:
         # test suites).  Mutating ``Signal._ids`` here instead would let
         # two live mediums corrupt each other's sequences.
         self._signal_ids = itertools.count(1)
-        #: (id(source), id(receiver)) -> (tx_pos, rx_pos, base_loss_db,
-        #: delay_ns).  Positions are immutable tuples replaced on every
-        #: move, so an identity check on the stored tuples detects
-        #: mobility without any explicit invalidation protocol.
+        #: (source_index, receiver_index) -> (tx_pos, rx_pos,
+        #: base_loss_db, delay_ns).  Positions are immutable tuples
+        #: replaced on every move, so an identity check on the stored
+        #: tuples detects mobility without any explicit invalidation
+        #: protocol.
         self._pair_cache: dict[
             tuple[int, int], tuple[Position, Position, float, int]
         ] = {}
@@ -121,11 +135,15 @@ class Medium:
         return tuple(self._devices)
 
     def attach(self, device: MediumDevice) -> None:
-        """Connect a transceiver to this medium."""
-        if id(device) in self._device_set:
+        """Connect a transceiver to this medium.
+
+        The device is assigned the next per-medium index; indices are
+        never reused, so caches keyed on them cannot alias devices.
+        """
+        if device in self._device_indices:
             raise MediumError(f"device {device!r} is already attached")
+        self._device_indices[device] = len(self._devices)
         self._devices.append(device)
-        self._device_set.add(id(device))
 
     def add_loss_hook(self, hook: LossHook) -> None:
         """Register extra per-link loss (fault injection: fades, blackouts).
@@ -160,7 +178,8 @@ class Medium:
         Returns the :class:`Signal`, whose ``end_ns`` tells the caller when
         its own transmission completes.
         """
-        if id(source) not in self._device_set:
+        source_index = self._device_indices.get(source)
+        if source_index is None:
             raise MediumError("transmitting device is not attached to the medium")
         if duration_ns <= 0:
             raise MediumError(f"signal duration must be > 0 ns, got {duration_ns}")
@@ -182,13 +201,12 @@ class Medium:
         pair_cache = self._pair_cache
         floor_dbm = self._delivery_floor_dbm
         schedule = self._sim.schedule
-        source_id = id(source)
         source_pos = source.position_m
-        for device in self._devices:
+        for device_index, device in enumerate(self._devices):
             if device is source:
                 continue
             device_pos = device.position_m
-            pair_key = (source_id, id(device))
+            pair_key = (source_index, device_index)
             entry = pair_cache.get(pair_key)
             if (
                 entry is None
@@ -196,7 +214,7 @@ class Medium:
                 or entry[1] is not device_pos
             ):
                 base_db = channel.base_loss_db(
-                    source_pos, device_pos, source_id, pair_key[1]
+                    source_pos, device_pos, source_index, device_index
                 )
                 delay_ns = self.propagation_delay_ns(source_pos, device_pos)
                 entry = (source_pos, device_pos, base_db, delay_ns)

@@ -10,6 +10,7 @@ Regenerates the paper's tables and figures from the terminal::
     repro80211 list --clear-cache               # drop every cached sweep point
     repro80211 profile figure3 --probes 100     # cProfile top-N report
     repro80211 all --duration 5 --probes 100 --timeout 120 --report run.json
+    repro80211 lint --format json               # simulator static analysis
 
 Every run goes through the hardened experiment runner: a failing or
 hung experiment produces a one-line error and a structured failure
@@ -44,7 +45,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment name, 'list' to enumerate, 'all' for everything, "
-            "or 'profile' (with an experiment name) for a cProfile report"
+            "'profile' (with an experiment name) for a cProfile report, or "
+            "'lint' for the simulator static-analysis checks"
         ),
     )
     parser.add_argument(
@@ -166,7 +168,14 @@ def _profile(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # The linter owns its whole argument surface (paths, --format,
+        # baselines), so dispatch before the experiment parser sees it.
+        from repro.simlint.cli import run as lint_run
+
+        return lint_run(arguments[1:])
+    args = _build_parser().parse_args(arguments)
     cache = None
     if not args.no_cache:
         cache = SweepCache(root=args.cache_dir)

@@ -21,6 +21,15 @@ from repro.channel.propagation import LogDistancePathLoss
 from repro.core.params import Rate
 from repro.core.range_model import interference_range_m, solve_range_m
 from repro.phy.radio import RadioParameters
+from repro.sim.rng import RngManager
+
+#: How far into the probe's payload the interferer burst starts.  The
+#: value is an arbitrary "comfortably mid-payload" offset: the 540-byte
+#: probe payload is hundreds of µs long at any 802.11b rate, so the
+#: overlap is guaranteed whatever the data rate.
+# simlint: waive[SL301] -- coincidentally equals DIFS (50 µs); this is
+# an arbitrary overlap offset, not a copy of the MAC constant.
+OVERLAP_OFFSET_NS = 50_000
 
 
 @dataclass(frozen=True)
@@ -85,8 +94,6 @@ def measure_if_range(
     probes the receiver fails to decode is the interference loss.  The
     50 % boundary of the sweep is the empirical IF range.
     """
-    import random
-
     from repro.channel.medium import Medium
     from repro.channel.shadowing import ChannelModel
     from repro.core.airtime import AirtimeCalculator
@@ -96,10 +103,17 @@ def measure_if_range(
 
     radio = RadioParameters.calibrated()
     airtime = AirtimeCalculator()
+    rng = RngManager(seed)
     results = {}
     for interferer_distance in interferer_distances_m:
         sim = Simulator()
-        channel = ChannelModel(fast_sigma_db=0.0, rng=random.Random(seed))
+        # Every stochastic input hangs off the experiment's RngManager,
+        # so the master seed covers interference draws too; one named
+        # substream per sweep point keeps points independent.
+        channel = ChannelModel(
+            fast_sigma_db=0.0,
+            rng=rng.stream(f"if-range.shadowing.{interferer_distance}"),
+        )
         medium = Medium(sim, channel)
         receiver = Transceiver(sim, medium, radio, name="rx",
                                position_m=(0.0, 0.0))
@@ -127,7 +141,7 @@ def measure_if_range(
             sim.schedule_at(start_ns, sender.transmit, plan, f"p{probe}")
             # The interferer fires mid-payload, guaranteeing overlap.
             sim.schedule_at(
-                start_ns + plan.preamble_end_ns + 50_000,
+                start_ns + plan.preamble_end_ns + OVERLAP_OFFSET_NS,
                 interferer.transmit,
                 plan,
                 f"i{probe}",

@@ -65,7 +65,9 @@ def resolve_point_fn(fn: str) -> Callable[..., Any]:
         module = importlib.import_module(module_name)
         return getattr(module, attr)
     except (ImportError, AttributeError) as error:
-        raise ExperimentError(f"cannot resolve point function {fn!r}: {error}")
+        raise ExperimentError(
+            f"cannot resolve point function {fn!r}: {error}"
+        ) from error
 
 
 def _policy_tuple(policy: Any) -> PolicyTuple:
@@ -134,7 +136,7 @@ def execute_point(fn: str, params: Mapping[str, Any], policy: PolicyTuple = _NO_
     raise last_error
 
 
-def _pool_worker(task: tuple[str, dict, PolicyTuple]) -> tuple[str, Any]:
+def _pool_worker(task: tuple[str, dict[str, Any], PolicyTuple]) -> tuple[str, Any]:
     """Top-level (hence spawn-picklable) worker: run a point, never raise.
 
     Exceptions cross the process boundary as structured records so the

@@ -25,11 +25,17 @@ class EventHandle:
 
     __slots__ = ("time_ns", "_callback", "_args", "_cancelled", "_sim")
 
+    time_ns: int
+    _callback: Callable[..., None] | None
+    _args: tuple[Any, ...]
+    _cancelled: bool
+    _sim: "Simulator | None"
+
     def __init__(
         self,
         time_ns: int,
         callback: Callable[..., None],
-        args: tuple,
+        args: tuple[Any, ...],
         sim: "Simulator | None" = None,
     ):
         self.time_ns = time_ns
@@ -53,7 +59,7 @@ class EventHandle:
         return self._cancelled
 
     def _fire(self) -> None:
-        if not self._cancelled:
+        if not self._cancelled and self._callback is not None:
             callback, args = self._callback, self._args
             # Release references before invoking so an exception in the
             # callback cannot keep the closure alive via this handle.

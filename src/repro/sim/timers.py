@@ -40,9 +40,10 @@ class Timer:
     @property
     def expiry_ns(self) -> int | None:
         """Absolute expiry time, or ``None`` if not running."""
-        if not self.running:
+        handle = self._handle
+        if handle is None or handle.cancelled:
             return None
-        return self._handle.time_ns
+        return handle.time_ns
 
     def set_jitter(self, jitter: Callable[[int], int] | None) -> None:
         """Install (or clear) a delay-perturbation hook.

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.units import ns_to_s
+
 TraceSubscriber = Callable[["TraceRecord"], None]
 
 
@@ -25,7 +27,7 @@ class TraceRecord:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         kv = " ".join(f"{k}={v}" for k, v in self.fields.items())
-        return f"[{self.time_ns / 1e9:.6f}s] {self.category}.{self.event} {kv}"
+        return f"[{ns_to_s(self.time_ns):.6f}s] {self.category}.{self.event} {kv}"
 
 
 class Tracer:

@@ -1,0 +1,42 @@
+"""``repro.simlint`` — simulator-specific static analysis.
+
+The simulator's two load-bearing promises — bit-for-bit deterministic
+replay and faithful 802.11b timing constants — are conventions a diff
+review can easily miss (PR 2's ``Signal._ids`` class-attribute bug got
+through one).  This package turns them into machine-checked invariants:
+
+* **SL1xx determinism** — every random draw must flow through
+  :class:`repro.sim.rng.RngManager`; no module-global ``random.*``,
+  wall-clock entropy or unseeded ``random.Random()``.
+* **SL2xx ordering** — no ``id()``-derived keys, no iteration over
+  sets feeding simulation state (CPython reuses ids after GC and set
+  order varies with hash seeding).
+* **SL3xx sim-time hygiene** — 802.11b timing constants live in
+  ``core/params.py`` / ``units.py`` / ``phy/plans.py`` only; integer
+  nanosecond values stay integers.
+* **SL4xx parallel safety** — no mutable class attributes on sim
+  classes, no unpicklable lambdas handed to the sweep engine.
+* **SL5xx spec conformance** — the MAC/PHY constants the code actually
+  declares are diffed against a golden 802.11b table (paper Table 1).
+
+Run it as ``repro lint [--format text|json]``; findings can be waived
+inline with ``# simlint: waive[SLnnn] -- justification`` or recorded in
+a baseline file (see :mod:`repro.simlint.baseline`).
+"""
+
+from __future__ import annotations
+
+from repro.simlint.baseline import Baseline, fingerprint
+from repro.simlint.checker import Checker, Finding, ParsedModule, lint_paths
+from repro.simlint.report import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "Checker",
+    "Finding",
+    "ParsedModule",
+    "fingerprint",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,132 @@
+"""Finding baselines: adopt the linter without fixing the world first.
+
+A baseline records a fingerprint per accepted finding.  Fingerprints
+hash the rule id, the file, the *text* of the offending line and an
+occurrence counter — deliberately **not** the line number, so unrelated
+edits above a finding do not invalidate the baseline, while any edit to
+the flagged line itself resurfaces it.
+
+Workflow::
+
+    repro lint --write-baseline simlint-baseline.json   # adopt
+    repro lint --baseline simlint-baseline.json         # enforce only new
+
+This repo keeps its own baseline empty — every finding is fixed or
+carries an inline waiver — but downstream forks growing new scenario
+packs need the gradual path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.simlint.checker import Finding
+
+
+def fingerprint(finding: Finding, line_text: str, occurrence: int) -> str:
+    """Stable identity of one finding, independent of line numbers."""
+    digest = hashlib.sha256(
+        "\x1f".join(
+            (finding.rule_id, finding.path, line_text.strip(), str(occurrence))
+        ).encode()
+    )
+    return digest.hexdigest()[:20]
+
+
+def fingerprint_findings(
+    findings: Sequence[Finding], line_text_for: "LineTextLookup"
+) -> list[tuple[Finding, str]]:
+    """Pair each finding with its fingerprint, counting duplicates.
+
+    Two identical lines with the same violation get distinct occurrence
+    counters, so fixing one of them surfaces exactly one finding.
+    """
+    seen: Counter[tuple[str, str, str]] = Counter()
+    pairs: list[tuple[Finding, str]] = []
+    for finding in findings:
+        text = line_text_for(finding).strip()
+        key = (finding.rule_id, finding.path, text)
+        occurrence = seen[key]
+        seen[key] += 1
+        pairs.append((finding, fingerprint(finding, text, occurrence)))
+    return pairs
+
+
+class LineTextLookup:
+    """Reads (and caches) the source line a finding points at."""
+
+    def __init__(self, root: Path | None = None):
+        self._root = root
+        self._files: dict[str, list[str]] = {}
+
+    def __call__(self, finding: Finding) -> str:
+        lines = self._files.get(finding.path)
+        if lines is None:
+            path = Path(finding.path)
+            if self._root is not None and not path.is_absolute():
+                path = self._root / path
+            try:
+                lines = path.read_text(encoding="utf-8").splitlines()
+            except OSError:
+                lines = []
+            self._files[finding.path] = lines
+        if 1 <= finding.line <= len(lines):
+            return lines[finding.line - 1]
+        return ""
+
+
+class Baseline:
+    """A set of accepted finding fingerprints."""
+
+    VERSION = 1
+
+    def __init__(self, fingerprints: Iterable[str] = ()):
+        self._fingerprints = set(fingerprints)
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._fingerprints
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file written by :meth:`write`."""
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return cls(payload.get("fingerprints", ()))
+
+    def write(self, path: Path) -> None:
+        """Persist; sorted for diff-friendly version control."""
+        payload = {
+            "version": self.VERSION,
+            "fingerprints": sorted(self._fingerprints),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], line_text_for: LineTextLookup
+    ) -> "Baseline":
+        """Adopt every (unwaived) finding as accepted debt."""
+        active = [finding for finding in findings if not finding.waived]
+        return cls(
+            print_ for _, print_ in fingerprint_findings(active, line_text_for)
+        )
+
+    def split(
+        self, findings: Sequence[Finding], line_text_for: LineTextLookup
+    ) -> tuple[list[Finding], list[Finding]]:
+        """``(new, baselined)`` partition of the unwaived findings."""
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        active = [finding for finding in findings if not finding.waived]
+        for finding, print_ in fingerprint_findings(active, line_text_for):
+            if print_ in self._fingerprints:
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined

@@ -1,0 +1,280 @@
+"""The AST walker behind ``repro lint``.
+
+A :class:`ParsedModule` bundles one source file with everything a rule
+needs to reason about it: the parse tree, a child-to-parent map (the
+:mod:`ast` module only links downwards), the raw source lines and the
+inline waivers.  The :class:`Checker` parses each file once, hands the
+module to every registered rule, and attaches waivers to the findings
+they return.
+
+Waivers are inline comments of the form::
+
+    x = risky()  # simlint: waive[SL401] -- shared fallback, see docstring
+
+A waiver covers the line it sits on and, when written on a line of its
+own, the first following line that produces a finding.  The
+justification after ``--`` is mandatory: a waiver without a reason does
+not suppress anything (and is itself reported as ``SL001``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Matches waiver comments: ``simlint: waive[SL101, SL202] -- reason``.
+_WAIVER_RE = re.compile(
+    r"#\s*simlint:\s*waive\[(?P<rules>[A-Z0-9*,\s]+)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    waived: bool = False
+    waiver_reason: str | None = None
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of the text report."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """An inline suppression comment."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    reason: str | None
+    #: True when the comment is alone on its line and therefore covers
+    #: the next finding-producing line below it.
+    standalone: bool
+
+    def covers(self, rule_id: str) -> bool:
+        """Whether this waiver names ``rule_id`` (or ``*``)."""
+        return "*" in self.rule_ids or rule_id in self.rule_ids
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed and indexed for the rules."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: Sequence[str]
+    waivers: tuple[Waiver, ...]
+    _parents: dict[int, ast.AST] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path | None = None) -> "ParsedModule":
+        """Read and parse ``path``; ``root`` anchors the reported relpath."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        try:
+            relpath = str(path.relative_to(root)) if root is not None else str(path)
+        except ValueError:
+            relpath = str(path)
+        module = cls(
+            path=path,
+            relpath=relpath.replace("\\", "/"),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            waivers=tuple(_extract_waivers(source)),
+        )
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                # simlint: waive[SL201] -- keys index live AST nodes the
+                # module itself keeps referenced, so ids cannot be reused.
+                module._parents[id(child)] = parent
+        return module
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (None for the module)."""
+        # simlint: waive[SL201] -- lookup key for live AST nodes held by
+        # this module; ids are stable while the tree is referenced.
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The innermost function containing ``node``, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        """The innermost class containing ``node``, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def line_text(self, line: int) -> str:
+        """Source text of a 1-based line (empty when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def waiver_for(self, finding: Finding) -> Waiver | None:
+        """The waiver covering ``finding``, if one exists.
+
+        Same-line waivers win; otherwise a standalone waiver comment on
+        the closest preceding line applies as long as only blank or
+        comment lines separate the two.
+        """
+        for waiver in self.waivers:
+            if waiver.line == finding.line and waiver.covers(finding.rule_id):
+                return waiver
+        best: Waiver | None = None
+        for waiver in self.waivers:
+            if not waiver.standalone or not waiver.covers(finding.rule_id):
+                continue
+            if waiver.line >= finding.line:
+                continue
+            between = range(waiver.line + 1, finding.line)
+            if all(_is_blank_or_comment(self.line_text(n)) for n in between):
+                if best is None or waiver.line > best.line:
+                    best = waiver
+        return best
+
+
+def _is_blank_or_comment(text: str) -> bool:
+    stripped = text.strip()
+    return not stripped or stripped.startswith("#")
+
+
+def _extract_waivers(source: str) -> Iterator[Waiver]:
+    lines = source.splitlines()
+    for line_number, text in enumerate(lines, start=1):
+        match = _WAIVER_RE.search(text)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            token.strip() for token in match.group("rules").split(",") if token.strip()
+        )
+        reason = match.group("reason")
+        standalone = text.strip().startswith("#")
+        if reason is not None and standalone:
+            # A standalone waiver's justification may wrap onto following
+            # comment lines; fold them into the reason.
+            for follower in lines[line_number:]:
+                stripped = follower.strip()
+                if not stripped.startswith("#") or "simlint:" in stripped:
+                    break
+                reason = f"{reason} {stripped.lstrip('#').strip()}"
+        yield Waiver(
+            line=line_number,
+            rule_ids=rule_ids,
+            reason=reason,
+            standalone=standalone,
+        )
+
+
+class Checker:
+    """Parses files and runs every registered rule over them."""
+
+    def __init__(self, rules: Sequence[object] | None = None):
+        if rules is None:
+            from repro.simlint.rules import all_rules
+
+            rules = all_rules()
+        self._rules = list(rules)
+
+    @property
+    def rules(self) -> tuple[object, ...]:
+        """The rule instances this checker runs."""
+        return tuple(self._rules)
+
+    def check_module(self, module: ParsedModule) -> list[Finding]:
+        """All findings for one parsed module, waivers applied."""
+        findings: list[Finding] = []
+        for waiver in module.waivers:
+            if waiver.reason is None:
+                findings.append(
+                    Finding(
+                        rule_id="SL001",
+                        path=module.relpath,
+                        line=waiver.line,
+                        col=0,
+                        message=(
+                            "waiver without a justification: write "
+                            "'# simlint: waive[SLnnn] -- reason'"
+                        ),
+                    )
+                )
+        for rule in self._rules:
+            for finding in rule.check(module):  # type: ignore[attr-defined]
+                waiver = module.waiver_for(finding)
+                if waiver is not None and waiver.reason is not None:
+                    finding = replace(
+                        finding, waived=True, waiver_reason=waiver.reason
+                    )
+                findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings
+
+    def check_paths(self, paths: Iterable[Path], root: Path | None = None) -> list[Finding]:
+        """Findings for every ``*.py`` file under ``paths``."""
+        findings: list[Finding] = []
+        for file_path in iter_python_files(paths):
+            try:
+                module = ParsedModule.parse(file_path, root=root)
+            except (SyntaxError, UnicodeDecodeError) as error:
+                findings.append(
+                    Finding(
+                        rule_id="SL002",
+                        path=str(file_path),
+                        line=getattr(error, "lineno", 1) or 1,
+                        col=0,
+                        message=f"cannot parse file: {error}",
+                    )
+                )
+                continue
+            findings.extend(self.check_module(module))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``*.py`` file under the given files/directories, sorted.
+
+    Sorted traversal keeps reports and baselines stable across
+    filesystems (``iterdir`` order is platform-dependent).
+    """
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Path] | None = None, root: Path | None = None
+) -> list[Finding]:
+    """Convenience one-shot: lint ``paths`` (default: the repro package)."""
+    if paths is None:
+        package_root = Path(__file__).resolve().parent.parent
+        paths = [package_root]
+        root = root if root is not None else package_root.parent
+    return Checker().check_paths(paths, root=root)

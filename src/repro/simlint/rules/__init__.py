@@ -1,0 +1,55 @@
+"""Rule registry: one module per rule family.
+
+* ``SL1xx`` :mod:`repro.simlint.rules.determinism`
+* ``SL2xx`` :mod:`repro.simlint.rules.ordering`
+* ``SL3xx`` :mod:`repro.simlint.rules.simtime`
+* ``SL4xx`` :mod:`repro.simlint.rules.parallel_safety`
+* ``SL5xx`` :mod:`repro.simlint.rules.spec`
+
+A rule is an object with a ``rule_id``, a one-line ``summary`` and a
+``check(module) -> Iterator[Finding]`` method.  New rules register by
+appending their class to their family module's ``RULES`` list; the
+registry here just concatenates the families.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol
+
+from repro.simlint.checker import Finding, ParsedModule
+
+
+class Rule(Protocol):
+    """What the checker requires of a rule."""
+
+    rule_id: str
+    summary: str
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``module``."""
+        ...
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, id order."""
+    from repro.simlint.rules import (
+        determinism,
+        ordering,
+        parallel_safety,
+        simtime,
+        spec,
+    )
+
+    rules: list[Rule] = []
+    for family in (determinism, ordering, simtime, parallel_safety, spec):
+        rules.extend(rule_class() for rule_class in family.RULES)
+    rules.sort(key=lambda rule: rule.rule_id)
+    return rules
+
+
+def rules_by_id() -> dict[str, Rule]:
+    """Mapping of rule id to a fresh rule instance."""
+    return {rule.rule_id: rule for rule in all_rules()}
+
+
+__all__ = ["Rule", "all_rules", "rules_by_id"]

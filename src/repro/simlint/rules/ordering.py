@@ -1,0 +1,144 @@
+"""SL2xx — ordering: no ``id()`` keys, no set-order-dependent control flow.
+
+Two distinct hazards share this family:
+
+* **``id()`` as identity** (SL201).  CPython reuses object ids the
+  moment the old object is collected, so an ``id()``-keyed dict or set
+  can silently alias a dead device with a live one — exactly the shape
+  of the historical ``Medium._device_set`` bug.  Keying containers by
+  the object itself (identity hash + a strong reference) or by an
+  explicitly assigned index is always safe; a bare ``id()`` never is.
+
+* **set iteration order** (SL202).  Set order depends on insertion
+  history and per-process hash seeding.  Any ``for`` loop over a set
+  that schedules events or mutates simulation state replays
+  differently between runs.  Iterate lists, or wrap in ``sorted()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.simlint.checker import Finding, ParsedModule
+
+#: Wrappers that impose a deterministic order on an unordered iterable.
+_ORDERING_WRAPPERS = frozenset({"sorted", "min", "max", "len", "sum", "any", "all"})
+
+
+class IdentityKeyRule:
+    """SL201: any call to the builtin ``id()``."""
+
+    rule_id = "SL201"
+    summary = (
+        "id() call: CPython reuses ids after GC, so id-derived keys can "
+        "alias dead objects with live ones"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Name) and node.func.id == "id"):
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    "id() result used as a value: ids are reused after GC; "
+                    "key by the object itself or an assigned index instead"
+                ),
+            )
+
+
+def _is_set_expression(node: ast.expr, local_sets: set[str]) -> str | None:
+    """A short description when ``node`` is definitely a set, else None."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in {"set", "frozenset"}:
+            return f"a {node.func.id}() value"
+    if isinstance(node, ast.Name) and node.id in local_sets:
+        return f"the set variable {node.id!r}"
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # ``a | b`` / ``a - b`` over sets; only report when a side is
+        # provably a set, so integer arithmetic never trips this.
+        left = _is_set_expression(node.left, local_sets)
+        right = _is_set_expression(node.right, local_sets)
+        if left or right:
+            return "a set expression"
+    return None
+
+
+def _local_set_names(scope: ast.AST) -> set[str]:
+    """Names assigned a set literal/constructor anywhere in ``scope``."""
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        value: ast.expr | None = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        if value is None:
+            continue
+        if _is_set_expression(value, set()) is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+class SetIterationRule:
+    """SL202: ``for`` loop (or comprehension) over a set."""
+
+    rule_id = "SL202"
+    summary = (
+        "iteration over a set: order varies with hash seeding, so any "
+        "simulation state it feeds replays differently between runs"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        local_sets = _local_set_names(module.tree)
+        iter_nodes: list[tuple[ast.expr, ast.AST]] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_nodes.append((node.iter, node))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                for generator in node.generators:
+                    iter_nodes.append((generator.iter, node))
+        for iter_expr, owner in iter_nodes:
+            description = _is_set_expression(iter_expr, local_sets)
+            if description is None:
+                continue
+            if self._order_insensitive(module, owner):
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=module.relpath,
+                line=iter_expr.lineno,
+                col=iter_expr.col_offset,
+                message=(
+                    f"iterating {description}: set order is not "
+                    "reproducible; iterate a list or wrap in sorted()"
+                ),
+            )
+
+    @staticmethod
+    def _order_insensitive(module: ParsedModule, owner: ast.AST) -> bool:
+        """True when the iteration result is immediately re-ordered or
+        reduced (``sorted(...)``, ``sum(...)``, ``len(...)``...)."""
+        parent = module.parent(owner)
+        if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name):
+            return parent.func.id in _ORDERING_WRAPPERS
+        return False
+
+
+RULES = [IdentityKeyRule, SetIterationRule]

@@ -1,0 +1,279 @@
+"""SL5xx — spec conformance: the declared constants match 802.11b.
+
+The analytic model (paper Eq. 1–2, Table 2) and the simulator share one
+source of truth for MAC/PHY constants: the dataclass defaults in
+``core/params.py``.  This rule extracts those defaults **from the AST**
+— not by importing the module, so a broken edit is still caught — and
+diffs them against ``GOLDEN_80211B``, the paper's Table 1 restated in
+the repo's conventions.
+
+Conventions worth restating (they trip every 802.11 reimplementation):
+
+* ``cw_min_slots = 32`` means backoffs are drawn from ``{0, ..., 31}``;
+  the standard's ``aCWmin = 31`` names the same window by its largest
+  draw.  Likewise ``cw_max_slots = 1024`` is ``aCWmax = 1023``.
+* The long PLCP preamble is 144 bits and its header 48 bits, both at
+  1 Mb/s — 192 µs in total, the paper's ``PHYhdr``.
+* The basic rate set is {1, 2} Mb/s; control frames must use it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.simlint.checker import Finding, ParsedModule
+
+SpecValue = Union[int, float, tuple[float, ...]]
+
+#: Paper Table 1 / IEEE 802.11b-1999, in the repo's own conventions.
+GOLDEN_80211B: dict[str, SpecValue] = {
+    "mac.slot_time_us": 20.0,
+    "mac.sifs_us": 10.0,
+    "mac.difs_us": 50.0,
+    "mac.cw_min_slots": 32,  # aCWmin = 31: draws come from {0..31}
+    "mac.cw_max_slots": 1024,  # aCWmax = 1023
+    "mac.mac_header_bits": 272,  # 34-byte 4-address MAC header + FCS
+    "mac.ack_bits": 112,  # 14-byte ACK
+    "mac.rts_bits": 160,  # 20-byte RTS
+    "mac.cts_bits": 112,  # 14-byte CTS
+    "mac.short_retry_limit": 7,
+    "mac.long_retry_limit": 4,
+    "plcp.long.preamble_bits": 144,
+    "plcp.long.preamble_rate_mbps": 1.0,
+    "plcp.long.header_bits": 48,
+    "plcp.long.header_rate_mbps": 1.0,
+    "plcp.short.preamble_bits": 72,
+    "plcp.short.preamble_rate_mbps": 1.0,
+    "plcp.short.header_bits": 48,
+    "plcp.short.header_rate_mbps": 2.0,
+    "basic_rate_set_mbps": (1.0, 2.0),
+}
+
+#: Derived timings the extracted table must reproduce (µs).
+_LONG_PLCP_DURATION_US = 192.0
+_SHORT_PLCP_DURATION_US = 96.0
+
+#: ``Rate.<member>`` attribute → Mb/s, mirrored from core/params.py so
+#: extraction stays purely syntactic.
+_RATE_MBPS = {
+    "MBPS_1": 1.0,
+    "MBPS_2": 2.0,
+    "MBPS_5_5": 5.5,
+    "MBPS_11": 11.0,
+}
+
+#: The single module the rule audits.
+_SPEC_MODULE = "core/params.py"
+
+
+def _literal(node: ast.expr) -> SpecValue | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return node.value
+    if isinstance(node, ast.Attribute) and node.attr in _RATE_MBPS:
+        return _RATE_MBPS[node.attr]
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal(node.operand)
+        if isinstance(inner, (int, float)):
+            return -inner
+    return None
+
+
+def _class_def(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _dataclass_defaults(class_node: ast.ClassDef) -> dict[str, SpecValue]:
+    defaults: dict[str, SpecValue] = {}
+    for statement in class_node.body:
+        if not isinstance(statement, ast.AnnAssign) or statement.value is None:
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        value = _literal(statement.value)
+        if value is not None:
+            defaults[statement.target.id] = value
+    return defaults
+
+
+def _classmethod_constructor_kwargs(
+    class_node: ast.ClassDef, method_name: str
+) -> dict[str, SpecValue]:
+    """Keyword literals of the ``return cls(...)`` inside a classmethod."""
+    for statement in class_node.body:
+        if not isinstance(statement, ast.FunctionDef):
+            continue
+        if statement.name != method_name:
+            continue
+        for node in ast.walk(statement):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            kwargs: dict[str, SpecValue] = {}
+            for keyword in call.keywords:
+                if keyword.arg is None:
+                    continue
+                value = _literal(keyword.value)
+                if value is not None:
+                    kwargs[keyword.arg] = value
+            return kwargs
+    return {}
+
+
+def _basic_rate_set(tree: ast.Module) -> tuple[float, ...] | None:
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if "BASIC_RATE_SET" not in names:
+            continue
+        if isinstance(value, ast.Tuple):
+            rates = []
+            for element in value.elts:
+                rate = _literal(element)
+                if isinstance(rate, float):
+                    rates.append(rate)
+            return tuple(rates)
+    return None
+
+
+def extract_spec_constants(module: ParsedModule) -> dict[str, SpecValue]:
+    """The MAC/PHY constant table declared by ``core/params.py``."""
+    constants: dict[str, SpecValue] = {}
+    mac = _class_def(module.tree, "MacParameters")
+    if mac is not None:
+        for name, value in _dataclass_defaults(mac).items():
+            constants[f"mac.{name}"] = value
+    plcp = _class_def(module.tree, "PlcpParameters")
+    if plcp is not None:
+        for method, prefix in (("long", "plcp.long"), ("short", "plcp.short")):
+            for name, value in _classmethod_constructor_kwargs(
+                plcp, method
+            ).items():
+                key = name.replace("preamble_rate", "preamble_rate_mbps").replace(
+                    "header_rate", "header_rate_mbps"
+                )
+                constants[f"{prefix}.{key}"] = value
+    rates = _basic_rate_set(module.tree)
+    if rates is not None:
+        constants["basic_rate_set_mbps"] = rates
+    return constants
+
+
+def plcp_duration_us(constants: dict[str, SpecValue], prefix: str) -> float | None:
+    """PLCP airtime implied by the extracted bits/rates, in µs."""
+    try:
+        preamble_bits = constants[f"{prefix}.preamble_bits"]
+        preamble_rate = constants[f"{prefix}.preamble_rate_mbps"]
+        header_bits = constants[f"{prefix}.header_bits"]
+        header_rate = constants[f"{prefix}.header_rate_mbps"]
+    except KeyError:
+        return None
+    if not all(
+        isinstance(v, (int, float)) and v
+        for v in (preamble_rate, header_rate)
+    ):
+        return None
+    assert isinstance(preamble_bits, (int, float))
+    assert isinstance(header_bits, (int, float))
+    assert isinstance(preamble_rate, (int, float))
+    assert isinstance(header_rate, (int, float))
+    return preamble_bits / preamble_rate + header_bits / header_rate
+
+
+class SpecConformanceRule:
+    """SL501/SL502/SL503: declared constants diff against the golden table."""
+
+    rule_id = "SL501"
+    summary = (
+        "MAC/PHY constants in core/params.py are diffed against the "
+        "golden 802.11b table (paper Table 1)"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        if not module.relpath.endswith(_SPEC_MODULE):
+            return
+        constants = extract_spec_constants(module)
+        for key, golden in sorted(GOLDEN_80211B.items()):
+            declared = constants.get(key)
+            if declared is None:
+                yield Finding(
+                    rule_id="SL502",
+                    path=module.relpath,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"spec constant {key} = {golden!r} not found in "
+                        "core/params.py; the golden 802.11b table has no "
+                        "counterpart to diff against"
+                    ),
+                )
+            elif declared != golden:
+                yield Finding(
+                    rule_id="SL501",
+                    path=module.relpath,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"spec constant {key} is {declared!r} but IEEE "
+                        f"802.11b (paper Table 1) requires {golden!r}"
+                    ),
+                )
+        yield from self._derived_checks(module, constants)
+
+    @staticmethod
+    def _derived_checks(
+        module: ParsedModule, constants: dict[str, SpecValue]
+    ) -> Iterator[Finding]:
+        sifs = constants.get("mac.sifs_us")
+        slot = constants.get("mac.slot_time_us")
+        difs = constants.get("mac.difs_us")
+        if (
+            isinstance(sifs, float)
+            and isinstance(slot, float)
+            and isinstance(difs, float)
+            and difs != sifs + 2 * slot
+        ):
+            yield Finding(
+                rule_id="SL503",
+                path=module.relpath,
+                line=1,
+                col=0,
+                message=(
+                    f"DIFS ({difs} µs) must equal SIFS + 2·slot "
+                    f"({sifs} + 2×{slot} µs) per IEEE 802.11 §9.2.10"
+                ),
+            )
+        for prefix, expected in (
+            ("plcp.long", _LONG_PLCP_DURATION_US),
+            ("plcp.short", _SHORT_PLCP_DURATION_US),
+        ):
+            duration = plcp_duration_us(constants, prefix)
+            if duration is not None and duration != expected:
+                yield Finding(
+                    rule_id="SL503",
+                    path=module.relpath,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"{prefix} airtime works out to {duration:g} µs; "
+                        f"802.11b requires {expected:g} µs (the paper's "
+                        "PHYhdr)"
+                    ),
+                )
+
+
+RULES = [SpecConformanceRule]

@@ -15,7 +15,6 @@ from repro.channel.placement import figure6_placement, figure8_placement, figure
 from repro.core.params import Rate
 from repro.errors import ExperimentError
 from repro.experiments.four_nodes import (
-    ASYMMETRIC_SESSIONS,
     SYMMETRIC_SESSIONS,
     format_four_node,
     run_four_node_scenario,

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.core.params import MacParameters, Dot11bConfig, Rate
+from repro.core.params import MacParameters, Rate
 from repro.core.throughput_model import ThroughputModel
 from repro.errors import ConfigurationError
-from repro.mac.dcf import AckPolicy, MacConfig
+from repro.mac.dcf import MacConfig
 from repro.mac.frames import BROADCAST
 from tests.util import build_mac_network, saturate
 

@@ -6,7 +6,7 @@ from hypothesis import given, strategies as st
 from repro.core.airtime import AirtimeCalculator
 from repro.core.params import ALL_RATES, Dot11bConfig, HeaderRatePolicy, Rate
 from repro.errors import ConfigurationError
-from repro.phy.plans import TransmissionPlan, Segment, control_frame_plan, data_frame_plan
+from repro.phy.plans import TransmissionPlan, control_frame_plan, data_frame_plan
 
 
 @pytest.fixture

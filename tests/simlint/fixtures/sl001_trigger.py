@@ -1,0 +1,5 @@
+"""Triggers SL001: a waiver comment with no justification."""
+import random
+
+# simlint: waive[SL102]
+rng = random.Random()

@@ -1,0 +1,4 @@
+"""Triggers SL002: the file does not parse."""
+
+def broken(:
+    return None

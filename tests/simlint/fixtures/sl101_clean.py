@@ -1,0 +1,6 @@
+"""Clean for SL101: the draw comes from a named RngManager stream."""
+from repro.sim.rng import RngManager
+
+
+def jitter_ns(rng_manager: RngManager) -> int:
+    return rng_manager.stream("app.jitter").randint(0, 1000)

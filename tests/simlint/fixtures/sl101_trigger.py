@@ -1,0 +1,6 @@
+"""Triggers SL101: draw from the module-global random generator."""
+import random
+
+
+def jitter_ns() -> int:
+    return random.randint(0, 1000)

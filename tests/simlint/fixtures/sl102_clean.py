@@ -1,0 +1,4 @@
+"""Clean for SL102: the fallback generator carries an explicit seed."""
+import random
+
+rng = random.Random(42)

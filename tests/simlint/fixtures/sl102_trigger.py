@@ -1,0 +1,4 @@
+"""Triggers SL102: unseeded random.Random() takes OS entropy."""
+import random
+
+rng = random.Random()

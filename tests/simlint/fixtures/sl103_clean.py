@@ -1,0 +1,6 @@
+"""Clean for SL103: time.monotonic() is fine for wall-clock budgets."""
+import time
+
+
+def budget_deadline(max_wall_s: float) -> float:
+    return time.monotonic() + max_wall_s

@@ -1,0 +1,6 @@
+"""Triggers SL103: wall-clock time leaks into simulation state."""
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,6 @@
+"""Clean for SL104: randomness dependency declared at module level."""
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)

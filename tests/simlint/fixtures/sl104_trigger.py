@@ -1,0 +1,7 @@
+"""Triggers SL104: import random buried inside a function."""
+
+
+def make_rng(seed: int):
+    import random
+
+    return random.Random(seed)

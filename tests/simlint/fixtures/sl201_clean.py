@@ -1,0 +1,5 @@
+"""Clean for SL201: key by the object itself (strong ref, no reuse)."""
+
+
+def remember(cache: dict, device: object, value: float) -> None:
+    cache[device] = value

@@ -1,0 +1,5 @@
+"""Triggers SL201: id()-derived dict key."""
+
+
+def remember(cache: dict, device: object, value: float) -> None:
+    cache[id(device)] = value

@@ -1,0 +1,6 @@
+"""Clean for SL202: a sorted() wrapper restores a reproducible order."""
+
+
+def schedule_all(sim, names: list) -> None:
+    for name in sorted(set(names)):
+        sim.schedule(0, name)

@@ -1,0 +1,6 @@
+"""Triggers SL202: event scheduling driven by set iteration order."""
+
+
+def schedule_all(sim, devices: list) -> None:
+    for device in set(devices):
+        sim.schedule(0, device.poll)

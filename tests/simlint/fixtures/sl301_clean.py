@@ -1,0 +1,6 @@
+"""Clean for SL301: timing constants come from the parameter table."""
+from repro.core.params import DEFAULT_MAC_PARAMETERS
+
+
+def deferral_us() -> float:
+    return DEFAULT_MAC_PARAMETERS.difs_us

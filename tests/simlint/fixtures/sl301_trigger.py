@@ -1,0 +1,6 @@
+"""Triggers SL301: the DIFS constant duplicated in a time context."""
+
+
+def deferral_us() -> float:
+    difs_us = 50.0
+    return difs_us

@@ -1,0 +1,5 @@
+"""Clean for SL302: scaling stays in integer nanoseconds."""
+
+
+def stretch(duration_ns: int) -> int:
+    return duration_ns * 3 // 2

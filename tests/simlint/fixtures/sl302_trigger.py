@@ -1,0 +1,5 @@
+"""Triggers SL302: float arithmetic contaminates an integer ns value."""
+
+
+def stretch(duration_ns: int) -> float:
+    return duration_ns * 1.5

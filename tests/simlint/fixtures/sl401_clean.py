@@ -1,0 +1,9 @@
+"""Clean for SL401: per-instance state initialised in __init__."""
+
+
+class FrameCounter:
+    def __init__(self) -> None:
+        self.seen: list = []
+
+    def record(self, frame: object) -> None:
+        self.seen.append(frame)

@@ -1,0 +1,8 @@
+"""Triggers SL401: mutable class attribute shared across instances."""
+
+
+class FrameCounter:
+    seen = []
+
+    def record(self, frame: object) -> None:
+        self.seen.append(frame)

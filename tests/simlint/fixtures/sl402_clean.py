@@ -1,0 +1,10 @@
+"""Clean for SL402: sweep work is a picklable module-level function."""
+from repro.parallel import pmap
+
+
+def _double(item: int) -> int:
+    return item * 2
+
+
+def double_all(items: list, jobs: int) -> list:
+    return pmap(_double, items, jobs=jobs)

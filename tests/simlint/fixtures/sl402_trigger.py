@@ -1,0 +1,6 @@
+"""Triggers SL402: a lambda handed to the sweep engine."""
+from repro.parallel import pmap
+
+
+def double_all(items: list, jobs: int) -> list:
+    return pmap(lambda item: item * 2, items, jobs=jobs)

@@ -1,0 +1,55 @@
+"""Spec-violating fixture: wrong SIFS (SL501 + SL503), ack_bits gone
+(SL502), and a short PLCP header rate that breaks the 96 us total."""
+import enum
+from dataclasses import dataclass
+
+
+class Rate(enum.Enum):
+    MBPS_1 = 1.0
+    MBPS_2 = 2.0
+    MBPS_5_5 = 5.5
+    MBPS_11 = 11.0
+
+
+BASIC_RATE_SET = (Rate.MBPS_1, Rate.MBPS_2)
+
+
+@dataclass(frozen=True)
+class PlcpParameters:
+    preamble_bits: int
+    preamble_rate: Rate
+    header_bits: int
+    header_rate: Rate
+
+    @classmethod
+    def long(cls) -> "PlcpParameters":
+        return cls(
+            preamble_bits=144,
+            preamble_rate=Rate.MBPS_1,
+            header_bits=48,
+            header_rate=Rate.MBPS_1,
+        )
+
+    @classmethod
+    def short(cls) -> "PlcpParameters":
+        return cls(
+            preamble_bits=72,
+            preamble_rate=Rate.MBPS_1,
+            header_bits=48,
+            header_rate=Rate.MBPS_1,
+        )
+
+
+@dataclass(frozen=True)
+class MacParameters:
+    slot_time_us: float = 20.0
+    sifs_us: float = 11.0
+    difs_us: float = 50.0
+    cw_min_slots: int = 32
+    cw_max_slots: int = 1024
+    mac_header_bits: int = 272
+    rts_bits: int = 160
+    cts_bits: int = 112
+    propagation_delay_us: float = 1.0
+    short_retry_limit: int = 7
+    long_retry_limit: int = 4

@@ -1,0 +1,76 @@
+"""Baseline fingerprinting: line-number independence, adopt/split."""
+
+from pathlib import Path
+
+from repro.simlint.baseline import (
+    Baseline,
+    LineTextLookup,
+    fingerprint,
+    fingerprint_findings,
+)
+from repro.simlint.checker import Checker, Finding
+
+
+def write_and_lint(tmp_path: Path, name: str, source: str):
+    (tmp_path / name).write_text(source, encoding="utf-8")
+    return Checker().check_paths([tmp_path / name], root=tmp_path)
+
+
+class TestFingerprint:
+    def test_ignores_line_numbers_but_not_line_text(self):
+        base = Finding("SL101", "mod.py", 10, 4, "msg")
+        moved = Finding("SL101", "mod.py", 99, 4, "msg")
+        text = "draw = random.random()"
+        assert fingerprint(base, text, 0) == fingerprint(moved, text, 0)
+        # Surrounding whitespace is normalised away; real edits are not.
+        assert fingerprint(base, text, 0) == fingerprint(base, f"  {text}", 0)
+        assert fingerprint(base, text, 0) != fingerprint(
+            base, "draw = rng.stream('mac').random()", 0
+        )
+
+    def test_duplicate_lines_get_distinct_occurrences(self, tmp_path):
+        findings = write_and_lint(
+            tmp_path,
+            "dup.py",
+            "import random\ndraw = random.random()\ndraw = random.random()\n",
+        )
+        pairs = fingerprint_findings(findings, LineTextLookup(root=tmp_path))
+        prints = [p for _, p in pairs]
+        assert len(prints) == 2
+        assert len(set(prints)) == 2
+
+
+class TestBaselineRoundTrip:
+    def test_write_load_split(self, tmp_path):
+        findings = write_and_lint(
+            tmp_path, "old.py", "import random\ndraw = random.random()\n"
+        )
+        lookup = LineTextLookup(root=tmp_path)
+        baseline = Baseline.from_findings(findings, lookup)
+        baseline_path = tmp_path / "baseline.json"
+        baseline.write(baseline_path)
+
+        reloaded = Baseline.load(baseline_path)
+        assert len(reloaded) == len(baseline) == 1
+
+        # The adopted finding is baselined; a new violation is not.
+        findings = write_and_lint(
+            tmp_path,
+            "old.py",
+            "import random\n# padding shifts line numbers\n"
+            "draw = random.random()\nimport time\nnow = time.time()\n",
+        )
+        new, baselined = reloaded.split(findings, LineTextLookup(root=tmp_path))
+        assert [f.rule_id for f in baselined] == ["SL101"]
+        assert [f.rule_id for f in new] == ["SL103"]
+
+    def test_waived_findings_never_enter_a_baseline(self, tmp_path):
+        findings = write_and_lint(
+            tmp_path,
+            "waived.py",
+            "import random\n"
+            "draw = random.random()  # simlint: waive[SL101] -- test corpus\n",
+        )
+        assert all(f.waived for f in findings)
+        baseline = Baseline.from_findings(findings, LineTextLookup(root=tmp_path))
+        assert len(baseline) == 0

@@ -1,0 +1,71 @@
+"""SL5xx spec conformance: golden table vs. the real parameter module."""
+
+from pathlib import Path
+
+from repro.simlint.checker import Checker, ParsedModule
+from repro.simlint.rules.spec import (
+    GOLDEN_80211B,
+    extract_spec_constants,
+    plcp_duration_us,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+REAL_PARAMS = REPO_ROOT / "src" / "repro" / "core" / "params.py"
+
+
+class TestExtraction:
+    def test_real_params_module_matches_golden_table_exactly(self):
+        """The shipped constants ARE the paper's Table 1 — key by key."""
+        module = ParsedModule.parse(REAL_PARAMS, root=REPO_ROOT / "src")
+        constants = extract_spec_constants(module)
+        for key, golden in GOLDEN_80211B.items():
+            assert constants.get(key) == golden, key
+
+    def test_derived_plcp_durations(self):
+        module = ParsedModule.parse(REAL_PARAMS, root=REPO_ROOT / "src")
+        constants = extract_spec_constants(module)
+        assert plcp_duration_us(constants, "plcp.long") == 192.0
+        assert plcp_duration_us(constants, "plcp.short") == 96.0
+
+    def test_extraction_is_purely_syntactic(self, tmp_path):
+        # A module that would crash on import still yields its constants.
+        path = tmp_path / "core" / "params.py"
+        path.parent.mkdir()
+        path.write_text(
+            "raise RuntimeError('never importable')\n"
+            "class MacParameters:\n"
+            "    sifs_us: float = 10.0\n",
+            encoding="utf-8",
+        )
+        module = ParsedModule.parse(path, root=tmp_path)
+        assert extract_spec_constants(module)["mac.sifs_us"] == 10.0
+
+
+class TestConformanceRule:
+    def test_clean_fixture_passes(self):
+        findings = Checker().check_paths(
+            [FIXTURES / "spec_clean"], root=FIXTURES
+        )
+        assert findings == []
+
+    def test_bad_fixture_reports_mismatch_missing_and_derived(self):
+        findings = Checker().check_paths([FIXTURES / "spec_bad"], root=FIXTURES)
+        by_rule = {}
+        for finding in findings:
+            by_rule.setdefault(finding.rule_id, []).append(finding.message)
+        # sifs_us = 11.0 and the short-PLCP header rate are outright wrong.
+        assert any("mac.sifs_us" in m for m in by_rule["SL501"])
+        # ack_bits was deleted.
+        assert any("mac.ack_bits" in m for m in by_rule["SL502"])
+        # ... and the derived relations break: DIFS ≠ SIFS + 2·slot and
+        # the short preamble no longer sums to 96 µs.
+        assert any("DIFS" in m for m in by_rule["SL503"])
+        assert any("96" in m for m in by_rule["SL503"])
+
+    def test_rule_only_audits_core_params(self, tmp_path):
+        # An unrelated params.py (not under core/) is not spec-audited.
+        path = tmp_path / "params.py"
+        path.write_text("class MacParameters:\n    pass\n", encoding="utf-8")
+        findings = Checker().check_paths([path], root=tmp_path)
+        assert findings == []

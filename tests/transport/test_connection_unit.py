@@ -5,7 +5,6 @@ injected by hand, so each protocol rule (handshake, cumulative ACKs,
 fast retransmit, RTO backoff, FIN) is pinned in isolation.
 """
 
-import pytest
 
 from repro.sim.engine import Simulator
 from repro.transport.tcp.connection import TcpConfig, TcpConnection, TcpState

@@ -1,6 +1,5 @@
 """Full-stack TCP tests over the simulated network."""
 
-import pytest
 
 from repro.apps.bulk import BulkTcpReceiver, BulkTcpSender
 from repro.core.params import Rate
