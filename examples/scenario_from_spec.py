@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Run a whole experiment from a declarative scenario file.
+
+``exposed_terminal.json`` (next to this script) is a three-station cut
+of the paper's §3.3 exposed-receiver situation: S2 receives from S1
+while S3 — outside S1's 11 Mbps transmission range — keeps transmitting
+to S2 as well, so S2's air time is contested from both sides and the
+farther sender starves::
+
+    S1 ---25m--- S2 -----30m----- S3
+    |_ flow 1 ___|                 |
+                 |_____ flow 2 ____|
+
+The whole setup is *data*: topology, stack, both flows, seed and
+duration live in ~15 lines of JSON.  The same file runs from the CLI::
+
+    repro80211 spec examples/exposed_terminal.json
+    repro80211 spec examples/exposed_terminal.json --set stack.rts_enabled=true
+
+Run with::
+
+    python examples/scenario_from_spec.py
+"""
+
+from pathlib import Path
+
+from repro import ScenarioSpec, apply_overrides, build
+
+SPEC_PATH = Path(__file__).with_name("exposed_terminal.json")
+
+
+def run(spec):
+    """Build the network the spec describes, run it, report per flow."""
+    net = build(spec)
+    net.run(spec.duration_s)
+    return {
+        flow.label: flow.throughput_bps(spec.duration_s) / 1e3
+        for flow in net.flows
+    }
+
+
+def main() -> None:
+    spec = ScenarioSpec.from_json(SPEC_PATH.read_text(encoding="utf-8"))
+    print(f"scenario {spec.name!r} from {SPEC_PATH.name}")
+    print(f"  stations at {[x for x, _ in spec.topology.positions_m]} m, "
+          f"{spec.stack.data_rate_mbps:g} Mbps, {spec.duration_s:g} s\n")
+
+    print(f"{'variant':>16} " + " ".join(
+        f"{flow.src + 1}->{flow.dst + 1:>4}" for flow in spec.traffic.flows
+    ))
+    for label, overrides in (
+        ("basic access", {}),
+        ("RTS/CTS", {"stack.rts_enabled": True}),
+    ):
+        variant = apply_overrides(spec, overrides) if overrides else spec
+        throughput = run(variant)
+        cells = " ".join(f"{kbps:7.0f} K" for kbps in throughput.values())
+        print(f"{label:>16} {cells}")
+
+    print(
+        "\nBoth flows converge on S2, and the nearer sender wins most of\n"
+        "the air time. Overrides tweak the same spec in place - no\n"
+        "experiment code was written for this scenario."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -66,7 +66,24 @@ from repro.apps.cbr import CbrSource
 from repro.apps.sink import UdpSink
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngManager
-from repro.experiments.common import ScenarioNetwork, build_network
+from repro.scenario import (
+    FaultSpec,
+    FlowHandle,
+    FlowSpec,
+    MobilitySpec,
+    ScenarioNetwork,
+    ScenarioSpec,
+    StackSpec,
+    SweepAxis,
+    SweepSpec,
+    TopologySpec,
+    TrafficSpec,
+    WeatherSpec,
+    apply_overrides,
+    build,
+    build_network,
+    run_scenarios,
+)
 
 __version__ = "1.0.0"
 
@@ -90,6 +107,9 @@ __all__ = [
     "ChannelModel",
     "DayConditions",
     "Dot11bConfig",
+    "FaultSpec",
+    "FlowHandle",
+    "FlowSpec",
     "FreeSpacePathLoss",
     "HeaderRatePolicy",
     "LogDistancePathLoss",
@@ -97,6 +117,7 @@ __all__ = [
     "MacParameters",
     "MacStation",
     "Medium",
+    "MobilitySpec",
     "Node",
     "NodeStackConfig",
     "PlcpParameters",
@@ -106,15 +127,25 @@ __all__ = [
     "RngManager",
     "RtsCtsOverheadModel",
     "ScenarioNetwork",
+    "ScenarioSpec",
     "Simulator",
+    "StackSpec",
+    "SweepAxis",
+    "SweepSpec",
     "TcpConfig",
     "ThroughputModel",
+    "TopologySpec",
+    "TrafficSpec",
     "Transceiver",
     "TransportProtocol",
     "TwoRayGroundPathLoss",
     "UdpSink",
     "WeatherProcess",
+    "WeatherSpec",
+    "apply_overrides",
+    "build",
     "build_network",
     "mac_payload_bytes",
+    "run_scenarios",
     "table2",
 ]

@@ -23,6 +23,8 @@ class BulkTcpReceiver:
         self._warmup_ns = s_to_ns(warmup_s)
         self.bytes = 0
         self.bytes_after_warmup = 0
+        self.rx_times_ns: list[int] = []
+        self.rx_bytes: list[int] = []
         self.connections: list[TcpConnection] = []
         self.peer_closed = False
         node.tcp.listen(port, self._on_connection)
@@ -34,6 +36,8 @@ class BulkTcpReceiver:
 
     def _on_deliver(self, nbytes: int) -> None:
         self.bytes += nbytes
+        self.rx_times_ns.append(self._node.sim.now_ns)
+        self.rx_bytes.append(nbytes)
         if self._node.sim.now_ns >= self._warmup_ns:
             self.bytes_after_warmup += nbytes
 

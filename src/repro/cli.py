@@ -11,6 +11,14 @@ Regenerates the paper's tables and figures from the terminal::
     repro80211 profile figure3 --probes 100     # cProfile top-N report
     repro80211 all --duration 5 --probes 100 --timeout 120 --report run.json
     repro80211 lint --format json               # simulator static analysis
+    repro80211 figure2 --set duration_s=1.5     # override a declared parameter
+    repro80211 spec scenario.json               # run a ScenarioSpec file
+    repro80211 spec scenario.json --set seed=7 --set stack.rts_enabled=true
+
+``--set key=value`` feeds the experiment's declared parameters (or, for
+``spec``, any dotted path into the scenario document); values parse as
+JSON with a plain-string fallback.  Unknown keys are rejected with the
+accepted ones listed — nothing is silently ignored.
 
 Every run goes through the hardened experiment runner: a failing or
 hung experiment produces a one-line error and a structured failure
@@ -45,7 +53,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment name, 'list' to enumerate, 'all' for everything, "
-            "'profile' (with an experiment name) for a cProfile report, or "
+            "'profile' (with an experiment name) for a cProfile report, "
+            "'spec' (with a JSON file) to run a declarative scenario, or "
             "'lint' for the simulator static-analysis checks"
         ),
     )
@@ -53,7 +62,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "target",
         nargs="?",
         default=None,
-        help="experiment to profile (only with the 'profile' command)",
+        help=(
+            "experiment to profile (with 'profile') or scenario spec file "
+            "(with 'spec')"
+        ),
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="KEY=VALUE",
+        help=(
+            "override an experiment parameter (repeatable); with 'spec', a "
+            "dotted path into the scenario document, e.g. "
+            "stack.rts_enabled=true.  Unknown keys are rejected."
+        ),
+    )
+    parser.add_argument(
+        "--extract",
+        default="repro.scenario.points:flow_throughputs_kbps",
+        metavar="PKG.MOD:FN",
+        help=(
+            "metric extractor for the 'spec' command (default: per-flow "
+            "throughput rows)"
+        ),
     )
     parser.add_argument(
         "--seed", type=int, default=1, help="master random seed (default 1)"
@@ -143,6 +176,55 @@ def _print_result(result: ExperimentResult) -> None:
         )
 
 
+def _parse_overrides(pairs: Sequence[str]) -> dict:
+    """``KEY=VALUE`` strings -> override dict (values parse as JSON)."""
+    import json
+
+    from repro.errors import ExperimentError
+
+    overrides = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ExperimentError(
+                f"malformed --set {pair!r}; expected KEY=VALUE"
+            )
+        try:
+            overrides[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            overrides[key] = raw
+    return overrides
+
+
+def _run_spec(args: argparse.Namespace, cache) -> int:
+    """Run one declarative scenario from a JSON spec file."""
+    import json
+
+    from repro.scenario import ScenarioSpec, apply_overrides, run_scenarios
+
+    if args.target is None:
+        print("error: spec needs a scenario file path", file=sys.stderr)
+        return 2
+    try:
+        with open(args.target, encoding="utf-8") as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+        overrides = _parse_overrides(args.overrides)
+        if overrides:
+            spec = apply_overrides(spec, overrides)
+        [value] = run_scenarios(
+            [spec],
+            extract=args.extract,
+            jobs=max(1, args.jobs),
+            cache=cache,
+        )
+    except Exception as error:  # noqa: BLE001 - one-line CLI surface
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"scenario {spec.name}: {args.extract}")
+    print(json.dumps(value, indent=2, sort_keys=True, default=str))
+    return 0
+
+
 def _profile(args: argparse.Namespace) -> int:
     from repro.profiling import profile_experiment
 
@@ -191,9 +273,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.experiment == "profile":
         return _profile(args)
+    if args.experiment == "spec":
+        return _run_spec(args, cache)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     config = RunnerConfig(timeout_s=args.timeout, max_retries=max(0, args.retries))
     try:
+        overrides = _parse_overrides(args.overrides)
         report = run_suite(
             names,
             seed=args.seed,
@@ -203,6 +288,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             on_result=_print_result,
             jobs=max(1, args.jobs),
             cache=cache,
+            overrides=overrides,
         )
         if len(names) > 1:
             print(report.format_summary())

@@ -1,114 +1,15 @@
-"""Shared scenario plumbing for all experiments."""
+"""Shared scenario plumbing for all experiments.
+
+The actual construction code now lives in :mod:`repro.scenario` — the
+declarative spec layer every experiment builds through.  This module
+remains as a compatibility alias for the long-standing import path
+``repro.experiments.common.build_network``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from repro.scenario.builder import build_network
+from repro.scenario.network import ScenarioNetwork
+from repro.scenario.specs import DEFAULT_FAST_SIGMA_DB
 
-from repro.channel.medium import Medium
-from repro.channel.propagation import PropagationModel
-from repro.channel.shadowing import ChannelModel
-from repro.channel.weather import DayConditions, WeatherProcess
-from repro.core.params import Dot11bConfig, Rate
-from repro.mac.dcf import AckPolicy
-from repro.mac.ratecontrol import ArfConfig
-from repro.net.node import Node, NodeStackConfig
-from repro.phy.radio import RadioParameters
-from repro.phy.reception import ReceptionModel
-from repro.sim.engine import Simulator
-from repro.sim.rng import RngManager
-from repro.sim.tracing import Tracer
-from repro.transport.tcp.connection import TcpConfig
-
-
-@dataclass
-class ScenarioNetwork:
-    """A ready-to-run network: simulator, medium and full-stack nodes."""
-
-    sim: Simulator
-    medium: Medium
-    nodes: list[Node]
-    tracer: Tracer
-    rngs: RngManager
-
-    def __getitem__(self, index: int) -> Node:
-        return self.nodes[index]
-
-    def run(self, duration_s: float) -> None:
-        """Advance the simulation to ``duration_s``."""
-        self.sim.run(until_s=duration_s)
-
-
-#: Default per-frame shadowing used by the dynamic experiments.  Chosen
-#: so the loss-vs-distance curves of Figure 3 spread over the distance
-#: window the paper shows (roughly 20-30 m wide per rate).
-DEFAULT_FAST_SIGMA_DB = 2.5
-
-
-def build_network(
-    positions_m: Sequence[float | tuple[float, float]],
-    data_rate: Rate = Rate.MBPS_11,
-    rts_enabled: bool = False,
-    seed: int = 1,
-    fast_sigma_db: float = DEFAULT_FAST_SIGMA_DB,
-    static_sigma_db: float = 0.0,
-    weather: DayConditions | None = None,
-    radio: RadioParameters | None = None,
-    propagation: PropagationModel | None = None,
-    ack_policy: AckPolicy = AckPolicy.ALWAYS,
-    dot11: Dot11bConfig | None = None,
-    tcp_config: TcpConfig | None = None,
-    reception: ReceptionModel | None = None,
-    mac_queue_frames: int = 200,
-    arf: ArfConfig | None = None,
-) -> ScenarioNetwork:
-    """Construct the full stack for one scenario.
-
-    ``positions_m`` entries are either an x-coordinate (stations on a
-    line, like every topology in the paper) or an ``(x, y)`` pair.
-    Addresses are assigned 1..N left to right, matching the paper's
-    S1..S4 naming.
-    """
-    sim = Simulator()
-    rngs = RngManager(seed)
-    tracer = Tracer()
-    weather_process = None
-    if weather is not None:
-        weather_process = WeatherProcess(rngs.stream("weather"), weather)
-    channel = ChannelModel(
-        propagation=propagation,
-        fast_sigma_db=fast_sigma_db,
-        static_sigma_db=static_sigma_db,
-        rng=rngs.stream("channel"),
-        weather=weather_process,
-    )
-    medium = Medium(sim, channel)
-    stack = NodeStackConfig(
-        data_rate=data_rate,
-        dot11=dot11 if dot11 is not None else Dot11bConfig(),
-        rts_enabled=rts_enabled,
-        ack_policy=ack_policy,
-        radio=radio if radio is not None else RadioParameters.calibrated(),
-        tcp=tcp_config if tcp_config is not None else TcpConfig(),
-        max_queue_frames=mac_queue_frames,
-        arf=arf,
-    )
-    nodes = []
-    for index, position in enumerate(positions_m):
-        if isinstance(position, tuple):
-            xy = (float(position[0]), float(position[1]))
-        else:
-            xy = (float(position), 0.0)
-        nodes.append(
-            Node(
-                sim,
-                medium,
-                address=index + 1,
-                position_m=xy,
-                stack=stack,
-                rng=rngs.stream(f"node{index + 1}"),
-                tracer=tracer,
-                reception=reception,
-            )
-        )
-    return ScenarioNetwork(sim=sim, medium=medium, nodes=nodes, tracer=tracer, rngs=rngs)
+__all__ = ["DEFAULT_FAST_SIGMA_DB", "ScenarioNetwork", "build_network"]

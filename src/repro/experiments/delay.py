@@ -6,6 +6,11 @@ well below saturation to beyond it: the mean and tail delay stay near
 the single-frame service time until the load approaches Equation (1)'s
 capacity, then explode as the MAC queue fills — the textbook hockey
 stick that makes the saturation point visible from the delay side.
+
+Each offered load is one :class:`~repro.scenario.ScenarioSpec` whose
+flow rate *is* the offered load (:func:`delay_spec` computes it from the
+Equation-(1) capacity), so the cached result is keyed on the physical
+workload, not on how this module derived it.
 """
 
 from __future__ import annotations
@@ -14,12 +19,19 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.tables import render_table
-from repro.apps.cbr import CbrSource
-from repro.apps.sink import UdpSink
 from repro.core.params import Rate
 from repro.core.throughput_model import ThroughputModel
-from repro.experiments.common import build_network
-from repro.parallel import SweepCache, SweepPoint, run_sweep
+from repro.parallel import SweepCache
+from repro.scenario import (
+    FlowSpec,
+    ScenarioNetwork,
+    ScenarioSpec,
+    StackSpec,
+    TopologySpec,
+    TrafficSpec,
+    run_scenarios,
+    scenario_point,
+)
 
 _PORT = 5001
 
@@ -38,6 +50,56 @@ class DelayPoint:
     p99_delay_s: float
 
 
+def delay_spec(
+    rate_mbps: float,
+    payload_bytes: int,
+    load_fraction: float,
+    duration_s: float,
+    warmup_s: float,
+    seed: int,
+) -> ScenarioSpec:
+    """One offered-load cell: timestamped CBR at a fraction of capacity."""
+    rate = Rate.from_mbps(rate_mbps)
+    capacity_bps = ThroughputModel().max_throughput_bps(payload_bytes, rate)
+    return ScenarioSpec(
+        name="delay-vs-load",
+        topology=TopologySpec.line(0, 10, fast_sigma_db=0.0),
+        stack=StackSpec(data_rate_mbps=rate_mbps),
+        traffic=TrafficSpec(
+            flows=(
+                FlowSpec(
+                    kind="cbr",
+                    src=0,
+                    dst=1,
+                    port=_PORT,
+                    payload_bytes=payload_bytes,
+                    rate_bps=load_fraction * capacity_bps,
+                    timestamped=True,
+                ),
+            )
+        ),
+        seed=seed,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+    )
+
+
+def delay_metrics(net: ScenarioNetwork) -> list[float]:
+    """Extractor: ``[offered, delivered, mean_delay, p99]`` for flow 0."""
+    assert net.spec is not None
+    flow = net.flow(0)
+    assert flow.spec.rate_bps is not None
+    return [
+        flow.spec.rate_bps,
+        flow.sink.throughput_bps(net.spec.duration_s),
+        flow.sink.delays.mean_s,
+        flow.sink.delays.percentile_s(0.99),
+    ]
+
+
+_DELAY_METRICS = "repro.experiments.delay:delay_metrics"
+
+
 def delay_point(
     rate_mbps: float,
     payload_bytes: int,
@@ -48,29 +110,10 @@ def delay_point(
 ) -> list[float]:
     """Sweep-engine point: ``[offered, delivered, mean_delay, p99]``
     for one offered load."""
-    rate = Rate.from_mbps(rate_mbps)
-    capacity_bps = ThroughputModel().max_throughput_bps(payload_bytes, rate)
-    offered_bps = load_fraction * capacity_bps
-    net = build_network([0, 10], data_rate=rate, seed=seed, fast_sigma_db=0.0)
-    sink = UdpSink(net[1], port=_PORT, warmup_s=warmup_s)
-    CbrSource(
-        net[0],
-        dst=2,
-        dst_port=_PORT,
-        payload_bytes=payload_bytes,
-        rate_bps=offered_bps,
-        timestamped=True,
+    spec = delay_spec(
+        rate_mbps, payload_bytes, load_fraction, duration_s, warmup_s, seed
     )
-    net.run(duration_s)
-    return [
-        offered_bps,
-        sink.throughput_bps(duration_s),
-        sink.delays.mean_s,
-        sink.delays.percentile_s(0.99),
-    ]
-
-
-_DELAY_POINT = "repro.experiments.delay:delay_point"
+    return list(scenario_point(spec.to_dict(), extract=_DELAY_METRICS))
 
 
 def run_delay_sweep(
@@ -85,24 +128,14 @@ def run_delay_sweep(
     policy=None,
 ) -> list[DelayPoint]:
     """One delay measurement per offered load."""
-    values = run_sweep(
-        [
-            SweepPoint(
-                _DELAY_POINT,
-                {
-                    "rate_mbps": rate.mbps,
-                    "payload_bytes": payload_bytes,
-                    "load_fraction": fraction,
-                    "duration_s": duration_s,
-                    "warmup_s": warmup_s,
-                    "seed": seed,
-                },
-            )
-            for fraction in load_fractions
-        ],
-        jobs=jobs,
-        cache=cache,
-        policy=policy,
+    specs = [
+        delay_spec(
+            rate.mbps, payload_bytes, fraction, duration_s, warmup_s, seed
+        )
+        for fraction in load_fractions
+    ]
+    values = run_scenarios(
+        specs, extract=_DELAY_METRICS, jobs=jobs, cache=cache, policy=policy
     )
     return [
         DelayPoint(

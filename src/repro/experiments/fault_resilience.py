@@ -13,6 +13,10 @@ degrading and recovering instead of falling over:
   power mid-stream and reboots later.  The original connection dies
   without a FIN; on reboot the application opens a fresh connection and
   goodput resumes.
+
+Both scenarios are pure :class:`~repro.scenario.ScenarioSpec` data — the
+fault window is a ``faults`` entry and the crash restart is the spec's
+``restart_flows`` wiring, not a hand-built callback.
 """
 
 from __future__ import annotations
@@ -21,15 +25,17 @@ import bisect
 from dataclasses import dataclass
 
 from repro.analysis.tables import render_table
-from repro.apps.bulk import BulkTcpSender
-from repro.apps.cbr import CbrSource
-from repro.apps.sink import UdpSink
 from repro.core.params import Rate
 from repro.errors import ConfigurationError
-from repro.experiments.common import build_network
-from repro.faults import FaultSchedule, NodeCrash, link_blackout
-from repro.net.node import Node
-from repro.transport.tcp.connection import TcpConnection
+from repro.scenario import (
+    FaultSpec,
+    FlowSpec,
+    ScenarioSpec,
+    StackSpec,
+    TopologySpec,
+    TrafficSpec,
+    build,
+)
 
 #: Port used by both workloads at the receiver.
 _PORT = 5001
@@ -80,6 +86,50 @@ class BlackoutResult:
         return during.mbps < before.mbps * 0.1
 
 
+def blackout_spec(
+    duration_s: float = 15.0,
+    blackout_s: float = 5.0,
+    offered_mbps: float = 1.5,
+    rate_mbps: float = 11.0,
+    seed: int = 1,
+) -> ScenarioSpec:
+    """UDP through a total link outage centred in the run."""
+    if duration_s < blackout_s + 4.0:
+        raise ConfigurationError(
+            f"duration ({duration_s:g}s) must leave at least 2s of clean "
+            f"channel either side of the {blackout_s:g}s blackout"
+        )
+    start_s = (duration_s - blackout_s) / 2
+    return ScenarioSpec(
+        name="fault-blackout",
+        topology=TopologySpec.line(0, 10, fast_sigma_db=0.0),
+        stack=StackSpec(data_rate_mbps=rate_mbps),
+        traffic=TrafficSpec(
+            flows=(
+                FlowSpec(
+                    kind="cbr",
+                    src=0,
+                    dst=1,
+                    port=_PORT,
+                    payload_bytes=512,
+                    rate_bps=offered_mbps * 1e6,
+                ),
+            )
+        ),
+        faults=(
+            FaultSpec(
+                kind="link-blackout",
+                start_s=start_s,
+                duration_s=blackout_s,
+                node_a=0,
+                node_b=1,
+            ),
+        ),
+        seed=seed,
+        duration_s=duration_s,
+    )
+
+
 def run_link_blackout(
     duration_s: float = 15.0,
     blackout_s: float = 5.0,
@@ -88,26 +138,20 @@ def run_link_blackout(
     seed: int = 1,
 ) -> BlackoutResult:
     """UDP flow with a total link outage centred in the run."""
-    if duration_s < blackout_s + 4.0:
-        raise ConfigurationError(
-            f"duration ({duration_s:g}s) must leave at least 2s of clean "
-            f"channel either side of the {blackout_s:g}s blackout"
-        )
-    start_s = (duration_s - blackout_s) / 2
-    end_s = start_s + blackout_s
-    net = build_network([0, 10], data_rate=rate, seed=seed, fast_sigma_db=0.0)
-    sink = UdpSink(net[1], port=_PORT)
-    CbrSource(
-        net[0],
-        dst=2,
-        dst_port=_PORT,
-        payload_bytes=512,
-        rate_bps=offered_mbps * 1e6,
+    spec = blackout_spec(
+        duration_s=duration_s,
+        blackout_s=blackout_s,
+        offered_mbps=offered_mbps,
+        rate_mbps=rate.mbps,
+        seed=seed,
     )
-    FaultSchedule(
-        [link_blackout(start_s, blackout_s, node_a=0, node_b=1)]
-    ).install(net)
+    fault = spec.faults[0]
+    start_s = fault.start_s
+    assert fault.duration_s is not None
+    end_s = start_s + fault.duration_s
+    net = build(spec)
     net.run(duration_s)
+    sink = net.flow(0).sink
     rx_bytes = [512] * len(sink.rx_times_ns)
     phases = tuple(
         PhaseThroughput(
@@ -158,30 +202,6 @@ def format_link_blackout(result: BlackoutResult) -> str:
 # ---------------------------------------------------------- node crash
 
 
-class _TimestampedTcpReceiver:
-    """TCP listener recording (arrival time, bytes) per delivery."""
-
-    def __init__(self, node: Node, port: int):
-        self._node = node
-        self.rx_times_ns: list[int] = []
-        self.rx_bytes: list[int] = []
-        self.connections: list[TcpConnection] = []
-        node.tcp.listen(port, self._on_connection)
-
-    def _on_connection(self, connection: TcpConnection) -> None:
-        self.connections.append(connection)
-        connection.on_deliver = self._on_deliver
-
-    def _on_deliver(self, nbytes: int) -> None:
-        self.rx_times_ns.append(self._node.sim.now_ns)
-        self.rx_bytes.append(nbytes)
-
-    @property
-    def total_bytes(self) -> int:
-        """All stream bytes delivered across connections."""
-        return sum(self.rx_bytes)
-
-
 @dataclass(frozen=True)
 class CrashResult:
     """Outcome of the sender-crash/reboot scenario."""
@@ -199,6 +219,43 @@ class CrashResult:
         return self.connections_seen >= 2 and self.bytes_after_reboot > 0
 
 
+def crash_spec(
+    duration_s: float = 15.0,
+    crash_s: float = 5.0,
+    downtime_s: float = 4.0,
+    seed: int = 1,
+) -> ScenarioSpec:
+    """TCP bulk transfer whose sender crashes and reboots mid-stream.
+
+    The reboot restart is declarative: ``restart_flows=(0,)`` tells the
+    node-crash fault to start a fresh source for flow 0 when the station
+    comes back.
+    """
+    if duration_s < crash_s + downtime_s + 2.0:
+        raise ConfigurationError(
+            f"duration ({duration_s:g}s) must leave at least 2s after the "
+            f"reboot at {crash_s + downtime_s:g}s"
+        )
+    return ScenarioSpec(
+        name="fault-crash",
+        topology=TopologySpec.line(0, 10, fast_sigma_db=0.0),
+        traffic=TrafficSpec(
+            flows=(FlowSpec(kind="bulk-tcp", src=0, dst=1, port=_PORT),)
+        ),
+        faults=(
+            FaultSpec(
+                kind="node-crash",
+                start_s=crash_s,
+                duration_s=downtime_s,
+                node=0,
+                restart_flows=(0,),
+            ),
+        ),
+        seed=seed,
+        duration_s=duration_s,
+    )
+
+
 def run_node_crash(
     duration_s: float = 15.0,
     crash_s: float = 5.0,
@@ -206,31 +263,18 @@ def run_node_crash(
     seed: int = 1,
 ) -> CrashResult:
     """TCP bulk transfer whose sender crashes and reboots mid-stream."""
-    if duration_s < crash_s + downtime_s + 2.0:
-        raise ConfigurationError(
-            f"duration ({duration_s:g}s) must leave at least 2s after the "
-            f"reboot at {crash_s + downtime_s:g}s"
-        )
+    spec = crash_spec(
+        duration_s=duration_s,
+        crash_s=crash_s,
+        downtime_s=downtime_s,
+        seed=seed,
+    )
     reboot_s = crash_s + downtime_s
-    net = build_network([0, 10], seed=seed, fast_sigma_db=0.0)
-    receiver = _TimestampedTcpReceiver(net[1], port=_PORT)
-    sender = BulkTcpSender(net[0], dst=2, dst_port=_PORT)
+    net = build(spec)
+    flow = net.flow(0)
+    receiver = flow.sink
     closed_reasons: list[str] = []
-    sender.connection.on_closed = closed_reasons.append
-
-    def restart_transfer(node: Node) -> None:
-        BulkTcpSender(node, dst=2, dst_port=_PORT)
-
-    FaultSchedule(
-        [
-            NodeCrash(
-                start_s=crash_s,
-                duration_s=downtime_s,
-                node=0,
-                on_reboot=restart_transfer,
-            )
-        ]
-    ).install(net)
+    flow.source.connection.on_closed = closed_reasons.append
     net.run(duration_s)
     phases = tuple(
         PhaseThroughput(

@@ -15,6 +15,11 @@ The paper's observations the runner reproduces:
   view of the channel and the system is visibly more balanced.
 * TCP narrows the gap in both cases (TCP-ACKs make the load pattern
   less asymmetric and congestion control throttles the winner).
+
+Every panel is one :class:`~repro.scenario.ScenarioSpec`
+(:func:`panel_spec`): the two sessions are just the spec's flow list,
+so the same scenario vocabulary covers hidden/exposed-station setups of
+any station count.
 """
 
 from __future__ import annotations
@@ -22,9 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import render_table
-from repro.apps.bulk import BulkTcpReceiver, BulkTcpSender
-from repro.apps.cbr import CbrSource
-from repro.apps.sink import UdpSink
 from repro.channel.placement import (
     Placement,
     figure6_placement,
@@ -33,8 +35,18 @@ from repro.channel.placement import (
 )
 from repro.core.params import Rate
 from repro.errors import ExperimentError
-from repro.experiments.common import build_network
-from repro.parallel import SweepCache, SweepPoint, run_sweep
+from repro.parallel import SweepCache
+from repro.scenario import (
+    FlowSpec,
+    ScenarioNetwork,
+    ScenarioSpec,
+    StackSpec,
+    TopologySpec,
+    TrafficSpec,
+    build,
+    run_scenarios,
+    scenario_point,
+)
 
 _BASE_PORT = 5001
 
@@ -79,6 +91,77 @@ class FourNodeResult:
         return self.session2_kbps / self.session1_kbps
 
 
+def _session_flows(
+    transport: str,
+    sessions: tuple[tuple[int, int], ...],
+    payload_bytes: int,
+) -> tuple[FlowSpec, ...]:
+    if transport not in ("udp", "tcp"):
+        raise ExperimentError(f"unknown transport {transport!r}")
+    flows = []
+    for session_index, (tx, rx) in enumerate(sessions):
+        port = _BASE_PORT + session_index
+        if transport == "udp":
+            flows.append(
+                FlowSpec(
+                    kind="cbr",
+                    src=tx,
+                    dst=rx,
+                    port=port,
+                    payload_bytes=payload_bytes,
+                )
+            )
+        else:
+            flows.append(FlowSpec(kind="bulk-tcp", src=tx, dst=rx, port=port))
+    return tuple(flows)
+
+
+def scenario_for_placement(
+    placement: Placement,
+    rate: Rate,
+    transport: str,
+    rts_cts: bool,
+    sessions: tuple[tuple[int, int], ...] = ASYMMETRIC_SESSIONS,
+    duration_s: float = 10.0,
+    warmup_s: float = 1.0,
+    payload_bytes: int = 512,
+    seed: int = 1,
+) -> ScenarioSpec:
+    """The spec for one four-node panel on a live :class:`Placement`."""
+    positions = [x for x, _ in placement.positions]
+    return ScenarioSpec(
+        name=placement.name,
+        topology=TopologySpec.line(*positions),
+        stack=StackSpec(data_rate_mbps=rate.mbps, rts_enabled=rts_cts),
+        traffic=TrafficSpec(
+            flows=_session_flows(transport, sessions, payload_bytes)
+        ),
+        seed=seed,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+    )
+
+
+def _result_from_net(
+    net: ScenarioNetwork, rate: Rate, transport: str, rts_cts: bool
+) -> FourNodeResult:
+    assert net.spec is not None
+    session_results = tuple(
+        SessionThroughput(
+            label=handle.label,
+            kbps=handle.throughput_bps(net.spec.duration_s) / 1e3,
+        )
+        for handle in net.flows
+    )
+    return FourNodeResult(
+        scenario=net.spec.name,
+        rate=rate,
+        transport=transport,
+        rts_cts=rts_cts,
+        sessions=session_results,
+    )
+
+
 def run_four_node_scenario(
     placement: Placement,
     rate: Rate,
@@ -91,43 +174,20 @@ def run_four_node_scenario(
     seed: int = 1,
 ) -> FourNodeResult:
     """Run one panel: two concurrent sessions, measure both."""
-    if transport not in ("udp", "tcp"):
-        raise ExperimentError(f"unknown transport {transport!r}")
-    positions = [x for x, _ in placement.positions]
-    net = build_network(
-        positions, data_rate=rate, rts_enabled=rts_cts, seed=seed
+    spec = scenario_for_placement(
+        placement,
+        rate,
+        transport,
+        rts_cts,
+        sessions=sessions,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        payload_bytes=payload_bytes,
+        seed=seed,
     )
-    measurements = []
-    for session_index, (tx, rx) in enumerate(sessions):
-        port = _BASE_PORT + session_index
-        label = f"{tx + 1}->{rx + 1}"
-        if transport == "udp":
-            sink = UdpSink(net[rx], port=port, warmup_s=warmup_s)
-            CbrSource(
-                net[tx],
-                dst=net[rx].address,
-                dst_port=port,
-                payload_bytes=payload_bytes,
-            )
-            measurements.append((label, sink))
-        else:
-            receiver = BulkTcpReceiver(net[rx], port=port, warmup_s=warmup_s)
-            BulkTcpSender(net[tx], dst=net[rx].address, dst_port=port)
-            measurements.append((label, receiver))
+    net = build(spec)
     net.run(duration_s)
-    session_results = tuple(
-        SessionThroughput(
-            label=label, kbps=meter.throughput_bps(duration_s) / 1e3
-        )
-        for label, meter in measurements
-    )
-    return FourNodeResult(
-        scenario=placement.name,
-        rate=rate,
-        transport=transport,
-        rts_cts=rts_cts,
-        sessions=session_results,
-    )
+    return _result_from_net(net, rate, transport, rts_cts)
 
 
 _PLACEMENTS = {
@@ -135,6 +195,44 @@ _PLACEMENTS = {
     "figure8": figure8_placement,
     "figure10": figure10_placement,
 }
+
+
+def panel_spec(
+    placement: str,
+    rate_mbps: float,
+    transport: str,
+    rts_cts: bool,
+    sessions: tuple[tuple[int, int], ...],
+    duration_s: float,
+    seed: int,
+) -> ScenarioSpec:
+    """The spec for one named-placement panel (JSON-friendly arguments)."""
+    if placement not in _PLACEMENTS:
+        raise ExperimentError(f"unknown placement {placement!r}")
+    return scenario_for_placement(
+        _PLACEMENTS[placement](),
+        Rate.from_mbps(rate_mbps),
+        transport,
+        rts_cts,
+        sessions=tuple((int(tx), int(rx)) for tx, rx in sessions),
+        duration_s=duration_s,
+        seed=seed,
+    )
+
+
+def panel_rows(net: ScenarioNetwork) -> list:
+    """Extractor: ``[scenario, [[label, kbps], [label, kbps]]]``."""
+    assert net.spec is not None
+    return [
+        net.spec.name,
+        [
+            [handle.label, handle.throughput_bps(net.spec.duration_s) / 1e3]
+            for handle in net.flows
+        ],
+    ]
+
+
+_PANEL_ROWS = "repro.experiments.four_nodes:panel_rows"
 
 
 def panel_point(
@@ -151,24 +249,10 @@ def panel_point(
     Returns ``[scenario, [[label, kbps], [label, kbps]]]`` — JSON
     primitives the caller folds back into a :class:`FourNodeResult`.
     """
-    if placement not in _PLACEMENTS:
-        raise ExperimentError(f"unknown placement {placement!r}")
-    result = run_four_node_scenario(
-        _PLACEMENTS[placement](),
-        Rate.from_mbps(rate_mbps),
-        transport,
-        rts_cts,
-        sessions=tuple((int(tx), int(rx)) for tx, rx in sessions),
-        duration_s=duration_s,
-        seed=seed,
+    spec = panel_spec(
+        placement, rate_mbps, transport, rts_cts, sessions, duration_s, seed
     )
-    return [
-        result.scenario,
-        [[session.label, session.kbps] for session in result.sessions],
-    ]
-
-
-_PANEL_POINT = "repro.experiments.four_nodes:panel_point"
+    return list(scenario_point(spec.to_dict(), extract=_PANEL_ROWS))
 
 
 def _run_figure(
@@ -186,25 +270,20 @@ def _run_figure(
         for transport in ("udp", "tcp")
         for rts_cts in (False, True)
     ]
-    values = run_sweep(
-        [
-            SweepPoint(
-                _PANEL_POINT,
-                {
-                    "placement": placement_name,
-                    "rate_mbps": rate.mbps,
-                    "transport": transport,
-                    "rts_cts": rts_cts,
-                    "sessions": [list(session) for session in sessions],
-                    "duration_s": duration_s,
-                    "seed": seed,
-                },
-            )
-            for transport, rts_cts in panels
-        ],
-        jobs=jobs,
-        cache=cache,
-        policy=policy,
+    specs = [
+        panel_spec(
+            placement_name,
+            rate.mbps,
+            transport,
+            rts_cts,
+            sessions,
+            duration_s,
+            seed,
+        )
+        for transport, rts_cts in panels
+    ]
+    values = run_scenarios(
+        specs, extract=_PANEL_ROWS, jobs=jobs, cache=cache, policy=policy
     )
     return [
         FourNodeResult(

@@ -9,6 +9,10 @@ A receiver walks straight away from a transmitter that streams CBR
 probes; the link lifetime is the time until delivery stalls for good.
 The analytic expectation is simply range / speed, so the ratio between
 the ns-2 and calibrated lifetimes should approach 250 / range(rate).
+
+The walking receiver is just ``topology.mobility`` in the scenario spec
+(:func:`lifetime_spec`); the ns-2 comparison point swaps in the ``ns2``
+radio preset and ``two-ray`` propagation — all data, no wiring.
 """
 
 from __future__ import annotations
@@ -16,16 +20,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import render_table
-from repro.apps.cbr import CbrSource
-from repro.apps.sink import UdpSink
-from repro.channel.mobility import walk_away
-from repro.channel.propagation import TwoRayGroundPathLoss
 from repro.core.params import ALL_RATES, Rate
-from repro.experiments.common import build_network
-from repro.parallel import SweepCache, SweepPoint, run_sweep
-from repro.phy.radio import RadioParameters
+from repro.parallel import SweepCache
+from repro.scenario import (
+    FlowSpec,
+    MobilitySpec,
+    ScenarioNetwork,
+    ScenarioSpec,
+    StackSpec,
+    TopologySpec,
+    TrafficSpec,
+    build,
+    run_scenarios,
+    scenario_point,
+)
 
 _PORT = 5001
+
+#: Probe pacing for the walking-receiver stream.
+_PROBE_INTERVAL_S = 0.02
 
 
 @dataclass(frozen=True)
@@ -70,6 +83,53 @@ def _usable_lifetime_s(
     return (max(usable_bins) + 1) * window_s
 
 
+def lifetime_spec(
+    rate_mbps: float,
+    speed_m_s: float,
+    ns2_preset: bool,
+    seed: int,
+    horizon_s: float = 80.0,
+) -> ScenarioSpec:
+    """One walking-receiver link: CBR probes, mobility on the sink node."""
+    return ScenarioSpec(
+        name="link-lifetime",
+        topology=TopologySpec.line(
+            0.0,
+            5.0,
+            propagation="two-ray" if ns2_preset else None,
+            mobility=(MobilitySpec(node=1, speed_m_s=speed_m_s),),
+        ),
+        stack=StackSpec(
+            data_rate_mbps=rate_mbps, radio="ns2" if ns2_preset else None
+        ),
+        traffic=TrafficSpec(
+            flows=(
+                FlowSpec(
+                    kind="cbr",
+                    src=0,
+                    dst=1,
+                    port=_PORT,
+                    payload_bytes=512,
+                    rate_bps=512 * 8 / _PROBE_INTERVAL_S,
+                ),
+            )
+        ),
+        seed=seed,
+        duration_s=horizon_s,
+    )
+
+
+def usable_lifetime(net: ScenarioNetwork) -> float:
+    """Extractor: windowed usable lifetime of flow 0, in seconds."""
+    flow = net.flow(0)
+    assert flow.spec.rate_bps is not None
+    offered_per_s = flow.spec.rate_bps / (flow.spec.payload_bytes * 8)
+    return _usable_lifetime_s(flow.sink.rx_times_ns, offered_per_s=offered_per_s)
+
+
+_USABLE_LIFETIME = "repro.experiments.mobility:usable_lifetime"
+
+
 def measure_link_lifetime(
     rate: Rate,
     speed_m_s: float = 10.0,
@@ -78,29 +138,16 @@ def measure_link_lifetime(
     seed: int = 1,
 ) -> LinkLifetime:
     """Time until a walking receiver drops below usable delivery."""
-    kwargs = {}
-    if ns2_preset:
-        kwargs["radio"] = RadioParameters.ns2_default()
-        kwargs["propagation"] = TwoRayGroundPathLoss()
-    net = build_network([0.0, 5.0], data_rate=rate, seed=seed, **kwargs)
-    sink = UdpSink(net[1], port=_PORT)
-    probe_interval_s = 0.02
-    CbrSource(
-        net[0],
-        dst=2,
-        dst_port=_PORT,
-        payload_bytes=512,
-        rate_bps=512 * 8 / probe_interval_s,
+    spec = lifetime_spec(
+        rate.mbps, speed_m_s, ns2_preset, seed, horizon_s=horizon_s
     )
-    walk_away(net.sim, net[1].phy, speed_m_s)
-    net.run(horizon_s)
+    net = build(spec)
+    net.run(spec.duration_s)
     return LinkLifetime(
         rate=rate,
         radio_preset="ns-2" if ns2_preset else "calibrated",
         speed_m_s=speed_m_s,
-        lifetime_s=_usable_lifetime_s(
-            sink.rx_times_ns, offered_per_s=1.0 / probe_interval_s
-        ),
+        lifetime_s=usable_lifetime(net),
     )
 
 
@@ -108,12 +155,8 @@ def lifetime_point(
     rate_mbps: float, speed_m_s: float, ns2_preset: bool, seed: int
 ) -> float:
     """Sweep-engine point: one link lifetime in seconds."""
-    return measure_link_lifetime(
-        Rate.from_mbps(rate_mbps), speed_m_s, ns2_preset, seed=seed
-    ).lifetime_s
-
-
-_LIFETIME_POINT = "repro.experiments.mobility:lifetime_point"
+    spec = lifetime_spec(rate_mbps, speed_m_s, ns2_preset, seed)
+    return float(scenario_point(spec.to_dict(), extract=_USABLE_LIFETIME))
 
 
 def run_link_lifetimes(
@@ -129,22 +172,12 @@ def run_link_lifetimes(
         for rate in reversed(ALL_RATES)
         for ns2_preset in (False, True)
     ]
-    lifetimes = run_sweep(
-        [
-            SweepPoint(
-                _LIFETIME_POINT,
-                {
-                    "rate_mbps": rate.mbps,
-                    "speed_m_s": speed_m_s,
-                    "ns2_preset": ns2_preset,
-                    "seed": seed,
-                },
-            )
-            for rate, ns2_preset in grid
-        ],
-        jobs=jobs,
-        cache=cache,
-        policy=policy,
+    specs = [
+        lifetime_spec(rate.mbps, speed_m_s, ns2_preset, seed)
+        for rate, ns2_preset in grid
+    ]
+    lifetimes = run_scenarios(
+        specs, extract=_USABLE_LIFETIME, jobs=jobs, cache=cache, policy=policy
     )
     return [
         LinkLifetime(

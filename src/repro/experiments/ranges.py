@@ -8,6 +8,11 @@ transmitted exactly once), and probes are paced far below saturation.
 Control-frame ranges fall out of the same sweep: RTS/CTS/ACK travel at
 the basic rates, so the control range at 2 (1) Mbps is the data range of
 a 2 (1) Mbps sweep — exactly how Table 3 presents them.
+
+Each (rate, distance, seed) cell is one declarative
+:class:`~repro.scenario.ScenarioSpec` (:func:`loss_spec`); the
+:func:`probe_loss` extractor drains in-flight probes after the horizon
+before reading the loss, and sweeps are cached on the spec itself.
 """
 
 from __future__ import annotations
@@ -17,14 +22,22 @@ from typing import Sequence
 
 from repro.analysis.ascii_plot import line_plot
 from repro.analysis.tables import render_table
-from repro.apps.cbr import CbrSource
-from repro.apps.sink import UdpSink
 from repro.channel.weather import DayConditions
-from repro.core.params import ALL_RATES, Dot11bConfig, MacParameters, Rate
+from repro.core.params import ALL_RATES, Rate
 from repro.errors import ExperimentError
 from repro.experiments import paper
-from repro.experiments.common import build_network
 from repro.parallel import SweepCache, SweepPoint, run_sweep
+from repro.scenario import (
+    FlowSpec,
+    ScenarioNetwork,
+    ScenarioSpec,
+    StackSpec,
+    TopologySpec,
+    TrafficSpec,
+    WeatherSpec,
+    build,
+    scenario_sweep_points,
+)
 
 _PORT = 5001
 
@@ -32,6 +45,9 @@ _PORT = 5001
 FIGURE3_DISTANCES_M: tuple[float, ...] = tuple(range(20, 151, 10))
 #: Figure 4's x axis: 50 m to 160 m (the 1 Mbps range region).
 FIGURE4_DISTANCES_M: tuple[float, ...] = tuple(range(50, 161, 10))
+
+#: Probe pacing: 5 ms spacing is far below saturation even at 1 Mbps.
+_PROBE_INTERVAL_S = 0.005
 
 
 @dataclass(frozen=True)
@@ -60,10 +76,49 @@ class RangeEstimate:
         return low <= self.estimated_m <= high
 
 
-def _no_retry_dot11() -> Dot11bConfig:
-    return Dot11bConfig(
-        mac=MacParameters(short_retry_limit=0, long_retry_limit=0)
+def loss_spec(
+    rate_mbps: float,
+    distance_m: float,
+    probes: int,
+    seed: int,
+    payload_bytes: int = 512,
+    weather: WeatherSpec | None = None,
+) -> ScenarioSpec:
+    """One loss-probe cell: no MAC retries, paced probes, two stations."""
+    return ScenarioSpec(
+        name="loss-probe",
+        topology=TopologySpec.line(0.0, float(distance_m), weather=weather),
+        stack=StackSpec(
+            data_rate_mbps=rate_mbps, short_retry_limit=0, long_retry_limit=0
+        ),
+        traffic=TrafficSpec(
+            flows=(
+                FlowSpec(
+                    kind="cbr",
+                    src=0,
+                    dst=1,
+                    port=_PORT,
+                    payload_bytes=payload_bytes,
+                    rate_bps=payload_bytes * 8 / _PROBE_INTERVAL_S,
+                ),
+            )
+        ),
+        seed=seed,
+        duration_s=probes * _PROBE_INTERVAL_S,
     )
+
+
+def probe_loss(net: ScenarioNetwork) -> float:
+    """Extractor: stop the source, drain in-flight probes, read the loss."""
+    flow = net.flow(0)
+    flow.source.stop()
+    net.sim.run()
+    if flow.source.packets_accepted == 0:
+        raise ExperimentError("probe source never transmitted")
+    return max(0.0, 1.0 - flow.sink.packets / flow.source.packets_accepted)
+
+
+_PROBE_LOSS = "repro.experiments.ranges:probe_loss"
 
 
 def measure_loss_at(
@@ -75,28 +130,19 @@ def measure_loss_at(
     weather: DayConditions | None = None,
 ) -> float:
     """Per-frame loss rate between two stations ``distance_m`` apart."""
-    net = build_network(
-        [0.0, distance_m],
-        data_rate=rate,
-        seed=seed,
-        dot11=_no_retry_dot11(),
-        weather=weather,
-    )
-    sink = UdpSink(net[1], port=_PORT)
-    # 5 ms spacing: far below saturation even at 1 Mbps.
-    source = CbrSource(
-        net[0],
-        dst=2,
-        dst_port=_PORT,
+    spec = loss_spec(
+        rate.mbps,
+        distance_m,
+        probes,
+        seed,
         payload_bytes=payload_bytes,
-        rate_bps=payload_bytes * 8 / 0.005,
+        weather=(
+            WeatherSpec.from_conditions(weather) if weather is not None else None
+        ),
     )
-    net.run(probes * 0.005)
-    source.stop()
-    net.sim.run()
-    if source.packets_accepted == 0:
-        raise ExperimentError("probe source never transmitted")
-    return max(0.0, 1.0 - sink.packets / source.packets_accepted)
+    net = build(spec)
+    net.run(spec.duration_s)
+    return probe_loss(net)
 
 
 def loss_point(
@@ -117,22 +163,9 @@ def loss_point(
         distance_m,
         probes=probes,
         seed=seed,
+        payload_bytes=payload_bytes,
         weather=DayConditions(**weather) if weather is not None else None,
     )
-
-
-_LOSS_POINT = "repro.experiments.ranges:loss_point"
-
-
-def _weather_params(weather: DayConditions | None) -> dict | None:
-    if weather is None:
-        return None
-    return {
-        "name": weather.name,
-        "offset_db": weather.offset_db,
-        "sigma_db": weather.sigma_db,
-        "correlation_time_s": weather.correlation_time_s,
-    }
 
 
 def _loss_points(
@@ -142,20 +175,21 @@ def _loss_points(
     seed: int,
     weather: DayConditions | None,
 ) -> list[SweepPoint]:
-    """One point per distance, seeded exactly like the old serial loop."""
-    return [
-        SweepPoint(
-            _LOSS_POINT,
-            {
-                "rate_mbps": rate.mbps,
-                "distance_m": float(distance),
-                "probes": probes,
-                "seed": seed + int(distance),
-                "weather": _weather_params(weather),
-            },
+    """One spec point per distance, seeded exactly like the serial loop."""
+    weather_spec = (
+        WeatherSpec.from_conditions(weather) if weather is not None else None
+    )
+    specs = [
+        loss_spec(
+            rate.mbps,
+            float(distance),
+            probes,
+            seed + int(distance),
+            weather=weather_spec,
         )
         for distance in distances_m
     ]
+    return scenario_sweep_points(specs, extract=_PROBE_LOSS)
 
 
 def run_loss_sweep(

@@ -5,6 +5,10 @@ The experiment sweeps a two-station link over distance and compares the
 saturation throughput of each fixed rate with ARF: a well-behaved rate
 controller should track the upper envelope of the fixed-rate curves,
 stepping down the ladder near each rate's range edge.
+
+Each (distance, strategy) cell is one :class:`~repro.scenario.
+ScenarioSpec`, so the whole grid rides the parallel sweep engine and the
+result cache like every paper figure.
 """
 
 from __future__ import annotations
@@ -13,11 +17,17 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.tables import render_table
-from repro.apps.cbr import CbrSource
-from repro.apps.sink import UdpSink
 from repro.core.params import ALL_RATES, Rate
-from repro.experiments.common import build_network
-from repro.mac.ratecontrol import ArfConfig
+from repro.parallel import SweepCache
+from repro.scenario import (
+    FlowSpec,
+    ScenarioNetwork,
+    ScenarioSpec,
+    StackSpec,
+    TopologySpec,
+    TrafficSpec,
+    run_scenarios,
+)
 
 _PORT = 5001
 
@@ -39,17 +49,37 @@ class ArfSweepRow:
         return max(self.fixed_mbps.values())
 
 
-def _throughput(distance_m, rate, arf, duration_s, warmup_s, seed) -> float:
-    net = build_network(
-        [0.0, distance_m],
-        data_rate=rate,
+def arf_spec(
+    distance_m: float,
+    rate_mbps: float,
+    arf: bool,
+    duration_s: float,
+    warmup_s: float,
+    seed: int,
+) -> ScenarioSpec:
+    """One saturated link at a distance, fixed-rate or ARF-controlled."""
+    return ScenarioSpec(
+        name="arf-sweep" if arf else "fixed-rate-sweep",
+        topology=TopologySpec.line(0.0, float(distance_m)),
+        stack=StackSpec(data_rate_mbps=rate_mbps, arf=arf),
+        traffic=TrafficSpec(
+            flows=(
+                FlowSpec(kind="cbr", src=0, dst=1, port=_PORT, payload_bytes=512),
+            )
+        ),
         seed=seed,
-        arf=ArfConfig() if arf else None,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
     )
-    sink = UdpSink(net[1], port=_PORT, warmup_s=warmup_s)
-    CbrSource(net[0], dst=2, dst_port=_PORT, payload_bytes=512)
-    net.run(duration_s)
-    return sink.throughput_bps(duration_s) / 1e6
+
+
+def saturation_mbps(net: ScenarioNetwork) -> float:
+    """Extractor: flow-0 goodput in Mbps over the scenario horizon."""
+    assert net.spec is not None
+    return net.flow(0).throughput_bps(net.spec.duration_s) / 1e6
+
+
+_SATURATION_MBPS = "repro.experiments.ratecontrol:saturation_mbps"
 
 
 def run_arf_sweep(
@@ -57,19 +87,27 @@ def run_arf_sweep(
     duration_s: float = 3.0,
     warmup_s: float = 0.5,
     seed: int = 1,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    policy=None,
 ) -> list[ArfSweepRow]:
     """Fixed rates and ARF across the distance sweep."""
+    strategies = [(rate, False) for rate in ALL_RATES] + [(Rate.MBPS_11, True)]
+    specs = [
+        arf_spec(distance, rate.mbps, arf, duration_s, warmup_s, seed)
+        for distance in distances_m
+        for rate, arf in strategies
+    ]
+    values = run_scenarios(
+        specs, extract=_SATURATION_MBPS, jobs=jobs, cache=cache, policy=policy
+    )
+    stride = len(strategies)
     rows = []
-    for distance in distances_m:
-        fixed = {
-            rate: _throughput(distance, rate, False, duration_s, warmup_s, seed)
-            for rate in ALL_RATES
-        }
-        arf = _throughput(
-            distance, Rate.MBPS_11, True, duration_s, warmup_s, seed
-        )
+    for index, distance in enumerate(distances_m):
+        cell = values[index * stride : (index + 1) * stride]
+        fixed = {rate: mbps for (rate, _), mbps in zip(strategies[:-1], cell)}
         rows.append(
-            ArfSweepRow(distance_m=distance, fixed_mbps=fixed, arf_mbps=arf)
+            ArfSweepRow(distance_m=distance, fixed_mbps=fixed, arf_mbps=cell[-1])
         )
     return rows
 

@@ -1,9 +1,20 @@
-"""Experiment registry: name -> runner producing printable output."""
+"""Experiment registry: name -> runner producing printable output.
+
+Every shim declares its tunable parameters explicitly — there is no
+``**kwargs`` sink silently eating a misspelt ``--set`` key.  The runner
+goes through :meth:`Experiment.invoke`, which
+
+* filters the harness-level keywords (``seed``, ``jobs``, ``cache``,
+  ``policy``, ...) down to what the shim actually accepts, and
+* rejects *user* overrides naming unknown parameters with an
+  :class:`~repro.errors.ExperimentError` that lists the accepted keys.
+"""
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable, Mapping
 
 from repro.errors import ExperimentError
 from repro.experiments.four_nodes import (
@@ -35,14 +46,64 @@ class Experiment:
     description: str
     run: Callable[..., str]
 
+    def accepted_params(self) -> tuple[str, ...]:
+        """Names of the keyword parameters the shim accepts."""
+        signature = inspect.signature(self.run)
+        return tuple(
+            parameter.name
+            for parameter in signature.parameters.values()
+            if parameter.kind
+            in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+        )
 
-def _table2(jobs: int = 1, cache=None, policy=None, **kwargs) -> str:
+    def _accepts_anything(self) -> bool:
+        signature = inspect.signature(self.run)
+        return any(
+            parameter.kind is parameter.VAR_KEYWORD
+            for parameter in signature.parameters.values()
+        )
+
+    def invoke(
+        self,
+        overrides: Mapping[str, Any] | None = None,
+        **harness: Any,
+    ) -> str:
+        """Run the experiment with harness keywords and user overrides.
+
+        ``harness`` keywords (seed, duration_s, probes, jobs, cache,
+        policy) are a standard set the runner always supplies; ones the
+        shim does not declare are dropped.  ``overrides`` come from the
+        user (``--set key=value``) and must all be declared — an unknown
+        key raises :class:`ExperimentError` listing the accepted ones.
+        """
+        accepted = self.accepted_params()
+        permissive = self._accepts_anything()
+        call = {
+            key: value
+            for key, value in harness.items()
+            if permissive or key in accepted
+        }
+        if overrides:
+            unknown = sorted(
+                key for key in overrides if not permissive and key not in accepted
+            )
+            if unknown:
+                raise ExperimentError(
+                    f"unknown parameter(s) {', '.join(unknown)} for "
+                    f"experiment {self.name!r}; accepted: "
+                    f"{', '.join(accepted) or '(none)'}"
+                )
+            call.update(overrides)
+        return self.run(**call)
+
+
+def _table2(jobs: int = 1, cache=None, policy=None) -> str:
     return format_table2(run_table2(jobs=jobs, cache=cache, policy=policy))
 
 
 def _figure2(
     duration_s: float = 3.0, seed: int = 1, jobs: int = 1, cache=None,
-    policy=None, **kwargs,
+    policy=None,
 ) -> str:
     return format_figure2(
         run_figure2(
@@ -54,7 +115,7 @@ def _figure2(
 
 def _figure3(
     probes: int = 200, seed: int = 1, jobs: int = 1, cache=None,
-    policy=None, **kwargs,
+    policy=None,
 ) -> str:
     return format_loss_curves(
         run_figure3(probes=probes, seed=seed, jobs=jobs, cache=cache, policy=policy),
@@ -64,7 +125,7 @@ def _figure3(
 
 def _figure4(
     probes: int = 200, seed: int = 1, jobs: int = 1, cache=None,
-    policy=None, **kwargs,
+    policy=None,
 ) -> str:
     return format_loss_curves(
         run_figure4(probes=probes, seed=seed, jobs=jobs, cache=cache, policy=policy),
@@ -74,7 +135,7 @@ def _figure4(
 
 def _table3(
     probes: int = 200, seed: int = 1, jobs: int = 1, cache=None,
-    policy=None, **kwargs,
+    policy=None,
 ) -> str:
     return format_table3(
         run_table3(probes=probes, seed=seed, jobs=jobs, cache=cache, policy=policy)
@@ -83,7 +144,7 @@ def _table3(
 
 def _figure7(
     duration_s: float = 10.0, seed: int = 1, jobs: int = 1, cache=None,
-    policy=None, **kwargs,
+    policy=None,
 ) -> str:
     return format_four_node(
         run_figure7(
@@ -96,7 +157,7 @@ def _figure7(
 
 def _figure9(
     duration_s: float = 10.0, seed: int = 1, jobs: int = 1, cache=None,
-    policy=None, **kwargs,
+    policy=None,
 ) -> str:
     return format_four_node(
         run_figure9(
@@ -109,7 +170,7 @@ def _figure9(
 
 def _figure11(
     duration_s: float = 10.0, seed: int = 1, jobs: int = 1, cache=None,
-    policy=None, **kwargs,
+    policy=None,
 ) -> str:
     return format_four_node(
         run_figure11(
@@ -122,7 +183,7 @@ def _figure11(
 
 def _figure12(
     duration_s: float = 10.0, seed: int = 1, jobs: int = 1, cache=None,
-    policy=None, **kwargs,
+    policy=None,
 ) -> str:
     return format_four_node(
         run_figure12(
@@ -133,15 +194,21 @@ def _figure12(
     )
 
 
-def _arf(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+def _arf(
+    duration_s: float = 10.0, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None,
+) -> str:
     return format_arf_sweep(
-        run_arf_sweep(duration_s=min(duration_s, 4.0), seed=seed)
+        run_arf_sweep(
+            duration_s=min(duration_s, 4.0), seed=seed, jobs=jobs,
+            cache=cache, policy=policy,
+        )
     )
 
 
 def _delay(
     duration_s: float = 10.0, seed: int = 1, jobs: int = 1, cache=None,
-    policy=None, **kwargs,
+    policy=None,
 ) -> str:
     from repro.core.params import Rate
 
@@ -155,14 +222,14 @@ def _delay(
 
 
 def _link_lifetime(
-    seed: int = 1, jobs: int = 1, cache=None, policy=None, **kwargs
+    seed: int = 1, jobs: int = 1, cache=None, policy=None
 ) -> str:
     return format_link_lifetimes(
         run_link_lifetimes(seed=seed, jobs=jobs, cache=cache, policy=policy)
     )
 
 
-def _fault_blackout(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+def _fault_blackout(duration_s: float = 10.0, seed: int = 1) -> str:
     from repro.experiments.fault_resilience import (
         format_link_blackout,
         run_link_blackout,
@@ -174,7 +241,7 @@ def _fault_blackout(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
     )
 
 
-def _fault_crash(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
+def _fault_crash(duration_s: float = 10.0, seed: int = 1) -> str:
     from repro.experiments.fault_resilience import (
         format_node_crash,
         run_node_crash,
@@ -185,13 +252,13 @@ def _fault_crash(duration_s: float = 10.0, seed: int = 1, **kwargs) -> str:
     )
 
 
-def _figure1(**kwargs) -> str:
+def _figure1() -> str:
     from repro.experiments.diagrams import format_figure1
 
     return format_figure1(512)
 
 
-def _scenarios(**kwargs) -> str:
+def _scenarios() -> str:
     from repro.channel.placement import (
         figure6_placement,
         figure8_placement,

@@ -15,11 +15,12 @@ closure.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import dataclasses
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.analysis.stats import Summary, summarize
 from repro.errors import ExperimentError
-from repro.parallel import pmap
+from repro.parallel import SweepCache, pmap
 
 MetricFn = Callable[[int], float]
 
@@ -58,3 +59,40 @@ def replicate_many(
 def seeds_for(replications: int, base_seed: int = 1) -> Sequence[int]:
     """The seed sequence :func:`replicate` would use (for custom loops)."""
     return [base_seed * 1000 + index for index in range(replications)]
+
+
+def replicate_spec(
+    spec: Any,
+    extract: str,
+    extract_params: Mapping[str, Any] | None = None,
+    replications: int = 5,
+    base_seed: int = 1,
+    confidence: float = 0.95,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+) -> Summary:
+    """Replicate one :class:`~repro.scenario.ScenarioSpec` across seeds.
+
+    The spec's own ``seed`` is ignored; each replication reruns the
+    scenario with a seed from :func:`seeds_for` and applies the
+    ``extract`` metric (a ``"pkg.mod:fn"`` path returning a number).
+    Because replications are full scenario points, they land in the
+    sweep cache like any other point.
+    """
+    from repro.scenario import ScenarioSpec, run_scenarios
+
+    if not isinstance(spec, ScenarioSpec):
+        raise ExperimentError(
+            f"replicate_spec needs a ScenarioSpec, got {type(spec).__name__}"
+        )
+    if replications < 1:
+        raise ExperimentError("need at least one replication")
+    specs = [
+        dataclasses.replace(spec, seed=seed)
+        for seed in seeds_for(replications, base_seed)
+    ]
+    values = run_scenarios(
+        specs, extract=extract, extract_params=extract_params, jobs=jobs,
+        cache=cache,
+    )
+    return summarize([float(value) for value in values], confidence=confidence)

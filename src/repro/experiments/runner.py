@@ -185,6 +185,7 @@ def run_experiment(
     experiments: Mapping[str, Experiment] | None = None,
     jobs: int = 1,
     cache=None,
+    overrides: Mapping[str, Any] | None = None,
 ) -> ExperimentResult:
     """Run one experiment under the robustness policy.
 
@@ -196,6 +197,10 @@ def run_experiment(
     content-addressed result cache (:mod:`repro.parallel`).  The
     ``config`` policy travels with them, so per-point timeout/retry
     applies inside pool workers too.
+
+    ``overrides`` are user-supplied experiment parameters (the CLI's
+    ``--set key=value``); an override the experiment does not declare
+    produces a failure record listing the accepted keys.
     """
     if config is None:
         config = RunnerConfig()
@@ -215,7 +220,8 @@ def run_experiment(
         result.seeds.append(attempt_seed)
         try:
             result.output = _Attempt(
-                lambda: experiment.run(
+                lambda: experiment.invoke(
+                    overrides,
                     seed=attempt_seed,
                     duration_s=duration_s,
                     probes=probes,
@@ -257,6 +263,7 @@ def run_suite(
     on_result: Callable[[ExperimentResult], None] | None = None,
     jobs: int = 1,
     cache=None,
+    overrides: Mapping[str, Any] | None = None,
 ) -> SuiteReport:
     """Run a batch of experiments with per-experiment isolation.
 
@@ -277,6 +284,7 @@ def run_suite(
             experiments=experiments,
             jobs=jobs,
             cache=cache,
+            overrides=overrides,
         )
         results.append(result)
         if on_result is not None:

@@ -3,6 +3,12 @@
 Two stations well inside transmission range, a saturated source, and the
 analytic bound of Equation (1)/(2) next to the simulated application
 throughput — with and without RTS/CTS, for UDP (CBR) and TCP (ftp).
+
+Scenarios are declarative: :func:`measured_spec` builds the
+:class:`~repro.scenario.ScenarioSpec` for one panel, the run function
+sweeps the four specs through :func:`repro.scenario.run_scenarios`
+(cached on the canonical spec serialisation), and the module-level
+extractors read the metric off the built network.
 """
 
 from __future__ import annotations
@@ -10,14 +16,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import render_table
-from repro.apps.bulk import BulkTcpReceiver, BulkTcpSender
-from repro.apps.cbr import CbrSource
-from repro.apps.sink import UdpSink
 from repro.core.params import Rate
 from repro.core.throughput_model import ThroughputModel
 from repro.errors import ExperimentError
-from repro.experiments.common import build_network
-from repro.parallel import SweepCache, SweepPoint, run_sweep
+from repro.parallel import SweepCache
+from repro.scenario import (
+    FlowSpec,
+    ScenarioNetwork,
+    ScenarioSpec,
+    StackSpec,
+    TopologySpec,
+    TrafficSpec,
+    run_scenarios,
+    scenario_point,
+)
 
 #: Port both workloads use at the receiver.
 _PORT = 5001
@@ -41,24 +53,48 @@ class Figure2Result:
         return self.measured_mbps / self.ideal_mbps
 
 
-def _run_udp(rate, rts_cts, payload_bytes, duration_s, warmup_s, seed) -> float:
-    net = build_network(
-        [0, 10], data_rate=rate, rts_enabled=rts_cts, seed=seed, fast_sigma_db=0.0
+def measured_spec(
+    rate_mbps: float,
+    transport: str,
+    rts_cts: bool,
+    payload_bytes: int,
+    duration_s: float,
+    warmup_s: float,
+    seed: int,
+) -> ScenarioSpec:
+    """The scenario for one measured Figure-2 panel."""
+    if transport == "udp":
+        flow = FlowSpec(
+            kind="cbr", src=0, dst=1, port=_PORT, payload_bytes=payload_bytes
+        )
+    elif transport == "tcp":
+        flow = FlowSpec(kind="bulk-tcp", src=0, dst=1, port=_PORT)
+    else:
+        raise ExperimentError(f"unknown transport {transport!r}")
+    return ScenarioSpec(
+        name=f"figure2-{transport}-{'rts' if rts_cts else 'basic'}",
+        topology=TopologySpec.line(0, 10, fast_sigma_db=0.0),
+        stack=StackSpec(data_rate_mbps=rate_mbps, rts_enabled=rts_cts),
+        traffic=TrafficSpec(flows=(flow,)),
+        seed=seed,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
     )
-    sink = UdpSink(net[1], port=_PORT, warmup_s=warmup_s)
-    CbrSource(net[0], dst=2, dst_port=_PORT, payload_bytes=payload_bytes)
-    net.run(duration_s)
-    return sink.throughput_bps(duration_s) / 1e6
 
 
-def _run_tcp(rate, rts_cts, duration_s, warmup_s, seed) -> float:
-    net = build_network(
-        [0, 10], data_rate=rate, rts_enabled=rts_cts, seed=seed, fast_sigma_db=0.0
-    )
-    receiver = BulkTcpReceiver(net[1], port=_PORT, warmup_s=warmup_s)
-    BulkTcpSender(net[0], dst=2, dst_port=_PORT)
-    net.run(duration_s)
-    return receiver.throughput_bps(duration_s) / 1e6
+def goodput_mbps(net: ScenarioNetwork) -> float:
+    """Extractor: flow-0 goodput in Mbps over the scenario horizon."""
+    assert net.spec is not None
+    return net.flow(0).throughput_bps(net.spec.duration_s) / 1e6
+
+
+def rx_times(net: ScenarioNetwork) -> list[int]:
+    """Extractor: flow-0 delivery timestamps (ns)."""
+    return [int(time_ns) for time_ns in net.flow(0).sink.rx_times_ns]
+
+
+_GOODPUT_MBPS = "repro.experiments.two_nodes:goodput_mbps"
+_RX_TIMES = "repro.experiments.two_nodes:rx_times"
 
 
 def measured_point(
@@ -71,12 +107,38 @@ def measured_point(
     seed: int,
 ) -> float:
     """Sweep-engine point: one measured Figure-2 panel in Mbps."""
-    rate = Rate.from_mbps(rate_mbps)
-    if transport == "udp":
-        return _run_udp(rate, rts_cts, payload_bytes, duration_s, warmup_s, seed)
-    if transport == "tcp":
-        return _run_tcp(rate, rts_cts, duration_s, warmup_s, seed)
-    raise ExperimentError(f"unknown transport {transport!r}")
+    spec = measured_spec(
+        rate_mbps, transport, rts_cts, payload_bytes, duration_s, warmup_s, seed
+    )
+    return float(scenario_point(spec.to_dict(), extract=_GOODPUT_MBPS))
+
+
+def udp_trace_spec(
+    rate_mbps: float,
+    distance_m: float,
+    duration_s: float,
+    payload_bytes: int,
+    seed: int,
+) -> ScenarioSpec:
+    """A saturated two-node UDP run with the default dynamic channel."""
+    return ScenarioSpec(
+        name="two-node-udp-trace",
+        topology=TopologySpec.line(0, distance_m),
+        stack=StackSpec(data_rate_mbps=rate_mbps),
+        traffic=TrafficSpec(
+            flows=(
+                FlowSpec(
+                    kind="cbr",
+                    src=0,
+                    dst=1,
+                    port=_PORT,
+                    payload_bytes=payload_bytes,
+                ),
+            )
+        ),
+        seed=seed,
+        duration_s=duration_s,
+    )
 
 
 def udp_trace_point(
@@ -92,16 +154,8 @@ def udp_trace_point(
     can assert that parallel and serial execution are bit-identical at
     the event level, not just in the summary statistics.
     """
-    net = build_network(
-        [0, distance_m], data_rate=Rate.from_mbps(rate_mbps), seed=seed
-    )
-    sink = UdpSink(net[1], port=_PORT)
-    CbrSource(net[0], dst=2, dst_port=_PORT, payload_bytes=payload_bytes)
-    net.run(duration_s)
-    return [int(time_ns) for time_ns in sink.rx_times_ns]
-
-
-_MEASURED_POINT = "repro.experiments.two_nodes:measured_point"
+    spec = udp_trace_spec(rate_mbps, distance_m, duration_s, payload_bytes, seed)
+    return list(scenario_point(spec.to_dict(), extract=_RX_TIMES))
 
 
 def run_figure2(
@@ -121,25 +175,14 @@ def run_figure2(
         for transport in ("udp", "tcp")
         for rts_cts in (False, True)
     ]
-    measured = run_sweep(
-        [
-            SweepPoint(
-                _MEASURED_POINT,
-                {
-                    "rate_mbps": rate.mbps,
-                    "transport": transport,
-                    "rts_cts": rts_cts,
-                    "payload_bytes": payload_bytes,
-                    "duration_s": duration_s,
-                    "warmup_s": warmup_s,
-                    "seed": seed,
-                },
-            )
-            for transport, rts_cts in panels
-        ],
-        jobs=jobs,
-        cache=cache,
-        policy=policy,
+    specs = [
+        measured_spec(
+            rate.mbps, transport, rts_cts, payload_bytes, duration_s, warmup_s, seed
+        )
+        for transport, rts_cts in panels
+    ]
+    measured = run_scenarios(
+        specs, extract=_GOODPUT_MBPS, jobs=jobs, cache=cache, policy=policy
     )
     return [
         Figure2Result(

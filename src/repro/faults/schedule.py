@@ -19,7 +19,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from repro.errors import FaultError
 from repro.faults.models import Fault, InterferenceBurst
@@ -27,7 +27,7 @@ from repro.sim.engine import EventHandle
 from repro.units import s_to_ns
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.experiments.common import ScenarioNetwork
+    from repro.scenario.network import ScenarioNetwork
 
 
 class FaultSchedule:
@@ -39,6 +39,29 @@ class FaultSchedule:
         self._installed_on: "ScenarioNetwork | None" = None
         for fault in faults:
             self.add(fault)
+
+    @classmethod
+    def from_specs(
+        cls, specs: Iterable[Any], flows: Sequence[Any] | None = None
+    ) -> "FaultSchedule":
+        """A schedule built from declarative fault specs.
+
+        Each spec must expose ``to_fault(flows)`` (the
+        :class:`repro.scenario.specs.FaultSpec` contract — duck-typed
+        here to keep the faults layer free of a scenario import);
+        ``flows`` are the scenario's flow handles for crash-restart
+        wiring.
+        """
+        schedule = cls()
+        for spec in specs:
+            to_fault = getattr(spec, "to_fault", None)
+            if to_fault is None:
+                raise FaultError(
+                    f"fault specs must expose to_fault(); got "
+                    f"{type(spec).__name__}"
+                )
+            schedule.add(to_fault(flows))
+        return schedule
 
     def add(self, fault: Fault) -> "FaultSchedule":
         """Append a fault; returns self for chaining."""

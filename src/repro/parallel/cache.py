@@ -44,6 +44,7 @@ _SEMANTIC_ROOTS: tuple[str, ...] = (
     "apps",
     "core",
     "faults",
+    "scenario",
     "experiments",
     "units.py",
     "errors.py",

@@ -119,7 +119,9 @@ def execute_point(fn: str, params: Mapping[str, Any], policy: PolicyTuple = _NO_
     Retries — like the hardened runner — only fire on
     :class:`~repro.errors.SimulationError` (kernel-level failures are
     the seed-sensitive ones) and perturb the point's ``seed`` parameter,
-    when it has one, by ``retry_seed_step`` per attempt.
+    when it has one, by ``retry_seed_step`` per attempt.  Spec-driven
+    points carry their seed inside a ``spec`` document instead; the same
+    perturbation applies to ``params["spec"]["seed"]``.
     """
     function = resolve_point_fn(fn)
     timeout_s, max_retries, seed_step = policy
@@ -128,6 +130,11 @@ def execute_point(fn: str, params: Mapping[str, Any], policy: PolicyTuple = _NO_
         kwargs = dict(params)
         if attempt and "seed" in kwargs:
             kwargs["seed"] = kwargs["seed"] + attempt * seed_step
+        spec = kwargs.get("spec")
+        if attempt and isinstance(spec, Mapping) and "seed" in spec:
+            reseeded = dict(spec)
+            reseeded["seed"] = reseeded["seed"] + attempt * seed_step
+            kwargs["spec"] = reseeded
         try:
             return _TimedCall(lambda: function(**kwargs))(timeout_s)
         except SimulationError as error:

@@ -28,8 +28,9 @@ def profile_experiment(
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        experiment.run(
-            seed=seed, duration_s=duration_s, probes=probes, jobs=1, cache=None
+        experiment.invoke(
+            None, seed=seed, duration_s=duration_s, probes=probes, jobs=1,
+            cache=None,
         )
     finally:
         profiler.disable()

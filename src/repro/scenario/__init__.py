@@ -1,0 +1,58 @@
+"""Declarative scenarios: specs in, running networks out.
+
+The paper's whole experimental vocabulary — stations on a line, a NIC
+rate, RTS on/off, CBR / on-off / bulk-TCP traffic, fault windows, a
+seed — is expressed as frozen dataclasses with a canonical, versioned
+JSON form.  :func:`build` turns a :class:`ScenarioSpec` into a fully
+wired :class:`ScenarioNetwork`; :func:`run_scenarios` sweeps batches of
+specs through the parallel engine with results content-addressed by the
+spec serialisation.
+"""
+
+from repro.scenario.builder import build, build_network
+from repro.scenario.network import FlowHandle, ScenarioNetwork
+from repro.scenario.points import (
+    SCENARIO_POINT_FN,
+    run_scenarios,
+    scenario_point,
+    scenario_sweep_points,
+)
+from repro.scenario.specs import (
+    DEFAULT_FAST_SIGMA_DB,
+    SPEC_VERSION,
+    FaultSpec,
+    FlowSpec,
+    MobilitySpec,
+    ScenarioSpec,
+    StackSpec,
+    SweepAxis,
+    SweepSpec,
+    TopologySpec,
+    TrafficSpec,
+    WeatherSpec,
+    apply_overrides,
+)
+
+__all__ = [
+    "DEFAULT_FAST_SIGMA_DB",
+    "SCENARIO_POINT_FN",
+    "SPEC_VERSION",
+    "FaultSpec",
+    "FlowHandle",
+    "FlowSpec",
+    "MobilitySpec",
+    "ScenarioNetwork",
+    "ScenarioSpec",
+    "StackSpec",
+    "SweepAxis",
+    "SweepSpec",
+    "TopologySpec",
+    "TrafficSpec",
+    "WeatherSpec",
+    "apply_overrides",
+    "build",
+    "build_network",
+    "run_scenarios",
+    "scenario_point",
+    "scenario_sweep_points",
+]

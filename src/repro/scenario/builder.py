@@ -1,0 +1,246 @@
+"""Turn specs into running networks.
+
+Two levels live here:
+
+* :func:`build_network` — the low-level constructor taking live objects
+  (a :class:`Rate`, a propagation model instance, ...).  This is the
+  former ``repro.experiments.common.build_network``, moved intact.
+* :func:`build` — the declarative entry point: a
+  :class:`~repro.scenario.specs.ScenarioSpec` in, a fully wired
+  :class:`~repro.scenario.network.ScenarioNetwork` out, with every flow
+  sink/source application attached, mobility walking and the fault
+  schedule installed.  Wiring order (flows in spec order, sink before
+  source, then mobility, then faults) is part of the contract: event
+  ties break by insertion sequence, so the order *is* the determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.channel.medium import Medium
+from repro.channel.propagation import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    PropagationModel,
+    TwoRayGroundPathLoss,
+)
+from repro.channel.shadowing import ChannelModel
+from repro.channel.weather import DayConditions, WeatherProcess
+from repro.core.params import Dot11bConfig, MacParameters, Rate
+from repro.errors import ConfigurationError
+from repro.mac.dcf import AckPolicy
+from repro.mac.ratecontrol import ArfConfig
+from repro.net.node import Node, NodeStackConfig
+from repro.phy.radio import RadioParameters
+from repro.phy.reception import ReceptionModel
+from repro.scenario.network import FlowHandle, ScenarioNetwork
+from repro.scenario.specs import (
+    DEFAULT_FAST_SIGMA_DB,
+    FlowSpec,
+    ScenarioSpec,
+)
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngManager
+from repro.sim.tracing import Tracer
+from repro.transport.tcp.connection import TcpConfig
+
+
+def build_network(
+    positions_m: Sequence[float | tuple[float, float]],
+    data_rate: Rate = Rate.MBPS_11,
+    rts_enabled: bool = False,
+    seed: int = 1,
+    fast_sigma_db: float = DEFAULT_FAST_SIGMA_DB,
+    static_sigma_db: float = 0.0,
+    weather: DayConditions | None = None,
+    radio: RadioParameters | None = None,
+    propagation: PropagationModel | None = None,
+    ack_policy: AckPolicy = AckPolicy.ALWAYS,
+    dot11: Dot11bConfig | None = None,
+    tcp_config: TcpConfig | None = None,
+    reception: ReceptionModel | None = None,
+    mac_queue_frames: int = 200,
+    arf: ArfConfig | None = None,
+) -> ScenarioNetwork:
+    """Construct the full stack for one scenario.
+
+    ``positions_m`` entries are either an x-coordinate (stations on a
+    line, like every topology in the paper) or an ``(x, y)`` pair.
+    Addresses are assigned 1..N left to right, matching the paper's
+    S1..S4 naming.
+    """
+    sim = Simulator()
+    rngs = RngManager(seed)
+    tracer = Tracer()
+    weather_process = None
+    if weather is not None:
+        weather_process = WeatherProcess(rngs.stream("weather"), weather)
+    channel = ChannelModel(
+        propagation=propagation,
+        fast_sigma_db=fast_sigma_db,
+        static_sigma_db=static_sigma_db,
+        rng=rngs.stream("channel"),
+        weather=weather_process,
+    )
+    medium = Medium(sim, channel)
+    stack = NodeStackConfig(
+        data_rate=data_rate,
+        dot11=dot11 if dot11 is not None else Dot11bConfig(),
+        rts_enabled=rts_enabled,
+        ack_policy=ack_policy,
+        radio=radio if radio is not None else RadioParameters.calibrated(),
+        tcp=tcp_config if tcp_config is not None else TcpConfig(),
+        max_queue_frames=mac_queue_frames,
+        arf=arf,
+    )
+    nodes = []
+    for index, position in enumerate(positions_m):
+        if isinstance(position, tuple):
+            xy = (float(position[0]), float(position[1]))
+        else:
+            xy = (float(position), 0.0)
+        nodes.append(
+            Node(
+                sim,
+                medium,
+                address=index + 1,
+                position_m=xy,
+                stack=stack,
+                rng=rngs.stream(f"node{index + 1}"),
+                tracer=tracer,
+                reception=reception,
+            )
+        )
+    return ScenarioNetwork(sim=sim, medium=medium, nodes=nodes, tracer=tracer, rngs=rngs)
+
+
+_PROPAGATION_FACTORIES = {
+    "log-distance": LogDistancePathLoss.calibrated,
+    "free-space": FreeSpacePathLoss,
+    "two-ray": TwoRayGroundPathLoss,
+}
+
+_RADIO_FACTORIES = {
+    "calibrated": RadioParameters.calibrated,
+    "ns2": RadioParameters.ns2_default,
+}
+
+
+def _stack_dot11(spec: ScenarioSpec) -> Dot11bConfig | None:
+    """A Dot11bConfig only when the spec overrides MAC retry limits."""
+    overrides: dict[str, int] = {}
+    if spec.stack.short_retry_limit is not None:
+        overrides["short_retry_limit"] = spec.stack.short_retry_limit
+    if spec.stack.long_retry_limit is not None:
+        overrides["long_retry_limit"] = spec.stack.long_retry_limit
+    if not overrides:
+        return None
+    return Dot11bConfig(mac=MacParameters(**overrides))
+
+
+def make_source(net: ScenarioNetwork, flow: FlowSpec, index: int) -> Any:
+    """Start (or restart) the source application for one flow."""
+    from repro.apps.bulk import BulkTcpSender
+    from repro.apps.cbr import CbrSource
+    from repro.apps.onoff import OnOffSource
+
+    src_node = net.nodes[flow.src]
+    dst_address = net.nodes[flow.dst].address
+    if flow.kind == "cbr":
+        return CbrSource(
+            src_node,
+            dst=dst_address,
+            dst_port=flow.port,
+            payload_bytes=flow.payload_bytes,
+            rate_bps=flow.rate_bps,
+            start_s=flow.start_s,
+            timestamped=flow.timestamped,
+        )
+    if flow.kind == "onoff":
+        return OnOffSource(
+            src_node,
+            dst=dst_address,
+            dst_port=flow.port,
+            payload_bytes=flow.payload_bytes,
+            rate_bps=flow.rate_bps,
+            mean_on_s=flow.mean_on_s,
+            mean_off_s=flow.mean_off_s,
+            rng=net.rngs.stream(f"flow{index}.onoff"),
+        )
+    # bulk-tcp: segments are MSS-sized (TcpConfig), not payload-sized.
+    return BulkTcpSender(
+        src_node,
+        dst=dst_address,
+        dst_port=flow.port,
+        total_bytes=flow.total_bytes,
+        start_s=flow.start_s,
+    )
+
+
+def _make_sink(net: ScenarioNetwork, flow: FlowSpec, warmup_s: float) -> Any:
+    from repro.apps.bulk import BulkTcpReceiver
+    from repro.apps.sink import UdpSink
+
+    dst_node = net.nodes[flow.dst]
+    if flow.kind == "bulk-tcp":
+        return BulkTcpReceiver(dst_node, port=flow.port, warmup_s=warmup_s)
+    return UdpSink(dst_node, port=flow.port, warmup_s=warmup_s)
+
+
+def build(spec: ScenarioSpec) -> ScenarioNetwork:
+    """Build and fully wire the network a :class:`ScenarioSpec` describes."""
+    from repro.channel.mobility import walk_away
+    from repro.faults.schedule import FaultSchedule
+
+    if not isinstance(spec, ScenarioSpec):
+        raise ConfigurationError(
+            f"build() takes a ScenarioSpec, got {type(spec).__name__}; "
+            "parse dicts with ScenarioSpec.from_dict first"
+        )
+    net = build_network(
+        list(spec.topology.positions_m),
+        data_rate=Rate.from_mbps(spec.stack.data_rate_mbps),
+        rts_enabled=spec.stack.rts_enabled,
+        seed=spec.seed,
+        fast_sigma_db=spec.topology.fast_sigma_db,
+        static_sigma_db=spec.topology.static_sigma_db,
+        weather=(
+            spec.topology.weather.to_conditions()
+            if spec.topology.weather is not None
+            else None
+        ),
+        radio=(
+            _RADIO_FACTORIES[spec.stack.radio]()
+            if spec.stack.radio is not None
+            else None
+        ),
+        propagation=(
+            _PROPAGATION_FACTORIES[spec.topology.propagation]()
+            if spec.topology.propagation is not None
+            else None
+        ),
+        ack_policy=AckPolicy(spec.stack.ack_policy),
+        dot11=_stack_dot11(spec),
+        mac_queue_frames=spec.stack.mac_queue_frames,
+        arf=ArfConfig() if spec.stack.arf else None,
+    )
+    net.spec = spec
+    handles = []
+    for index, flow in enumerate(spec.traffic.flows):
+        sink = _make_sink(net, flow, spec.warmup_s)
+        handle = FlowHandle(spec=flow, index=index, net=net, sink=sink)
+        handle.sources.append(make_source(net, flow, index))
+        handles.append(handle)
+    net.flows = tuple(handles)
+    for mobility in spec.topology.mobility:
+        walk_away(
+            net.sim,
+            net.nodes[mobility.node].phy,
+            mobility.speed_m_s,
+            update_interval_s=mobility.update_interval_s,
+        )
+    if spec.faults:
+        net.fault_schedule = FaultSchedule.from_specs(spec.faults, flows=net.flows)
+        net.fault_schedule.install(net)
+    return net

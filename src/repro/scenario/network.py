@@ -1,0 +1,127 @@
+"""The built artefact: a ready-to-run network plus its flow handles."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.channel.medium import Medium
+from repro.errors import ConfigurationError
+from repro.net.node import Node
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngManager
+from repro.sim.tracing import Tracer
+
+if TYPE_CHECKING:
+    from repro.faults.schedule import FaultSchedule
+    from repro.scenario.specs import FlowSpec, ScenarioSpec
+
+
+@dataclass
+class FlowHandle:
+    """One wired flow: the spec, the sink and the source application(s).
+
+    The sink is a :class:`~repro.apps.sink.UdpSink` for datagram flows or
+    a :class:`~repro.apps.bulk.BulkTcpReceiver` for ``bulk-tcp``;
+    ``sources`` collects every source application started for the flow
+    (restarts append).
+    """
+
+    spec: "FlowSpec"
+    index: int
+    net: "ScenarioNetwork"
+    sink: Any
+    sources: list[Any] = field(default_factory=list)
+
+    @property
+    def source(self) -> Any:
+        """The most recently started source application."""
+        return self.sources[-1]
+
+    @property
+    def label(self) -> str:
+        """Paper-style session label, e.g. ``"1->2"``."""
+        return f"{self.spec.src + 1}->{self.spec.dst + 1}"
+
+    def throughput_bps(self, horizon_s: float, warmup_s: float | None = None) -> float:
+        """Delegate to the sink's goodput accounting."""
+        return float(self.sink.throughput_bps(horizon_s, warmup_s=warmup_s))
+
+    def restart_source(self) -> Any:
+        """Start a fresh source application for this flow (post-reboot)."""
+        from repro.scenario.builder import make_source
+
+        source = make_source(self.net, self.spec, self.index)
+        self.sources.append(source)
+        return source
+
+
+@dataclass
+class ScenarioNetwork:
+    """A ready-to-run network: simulator, medium and full-stack nodes."""
+
+    sim: Simulator
+    medium: Medium
+    nodes: list[Node]
+    tracer: Tracer
+    rngs: RngManager
+    #: Populated when built from a spec via :func:`repro.scenario.build`.
+    spec: "ScenarioSpec | None" = None
+    flows: tuple[FlowHandle, ...] = ()
+    fault_schedule: "FaultSchedule | None" = None
+
+    def __getitem__(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def flow(self, index: int) -> FlowHandle:
+        """The handle for flow ``index`` (spec wiring order)."""
+        try:
+            return self.flows[index]
+        except IndexError:
+            raise ConfigurationError(
+                f"no flow {index}; this network has {len(self.flows)} flows"
+            ) from None
+
+    def run(self, duration_s: float) -> None:
+        """Advance the simulation to ``duration_s``.
+
+        Rejects non-positive, NaN or infinite horizons up front — a bad
+        duration silently produced an empty (or never-ending) run before.
+        """
+        if (
+            isinstance(duration_s, bool)
+            or not isinstance(duration_s, (int, float))
+            or math.isnan(duration_s)
+            or math.isinf(duration_s)
+            or duration_s <= 0
+        ):
+            raise ConfigurationError(
+                f"run() needs a positive finite duration in seconds, "
+                f"got {duration_s!r}"
+            )
+        self.sim.run(until_s=duration_s)
+
+    def run_with_warmup(self, duration_s: float, warmup_s: float) -> float:
+        """Run to ``duration_s`` and return the measurement window.
+
+        The warmup convention every experiment shares: sinks discard the
+        first ``warmup_s`` seconds, so rates divide by the returned
+        ``duration_s - warmup_s`` window.
+        """
+        if (
+            isinstance(warmup_s, bool)
+            or not isinstance(warmup_s, (int, float))
+            or math.isnan(warmup_s)
+            or warmup_s < 0
+        ):
+            raise ConfigurationError(
+                f"warmup must be >= 0 seconds, got {warmup_s!r}"
+            )
+        if warmup_s >= duration_s:
+            raise ConfigurationError(
+                f"warmup ({warmup_s!r} s) must be shorter than the run "
+                f"duration ({duration_s!r} s)"
+            )
+        self.run(duration_s)
+        return duration_s - warmup_s

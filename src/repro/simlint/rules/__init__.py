@@ -5,6 +5,7 @@
 * ``SL3xx`` :mod:`repro.simlint.rules.simtime`
 * ``SL4xx`` :mod:`repro.simlint.rules.parallel_safety`
 * ``SL5xx`` :mod:`repro.simlint.rules.spec`
+* ``SL6xx`` :mod:`repro.simlint.rules.scenario_layer`
 
 A rule is an object with a ``rule_id``, a one-line ``summary`` and a
 ``check(module) -> Iterator[Finding]`` method.  New rules register by
@@ -36,12 +37,20 @@ def all_rules() -> list[Rule]:
         determinism,
         ordering,
         parallel_safety,
+        scenario_layer,
         simtime,
         spec,
     )
 
     rules: list[Rule] = []
-    for family in (determinism, ordering, simtime, parallel_safety, spec):
+    for family in (
+        determinism,
+        ordering,
+        simtime,
+        parallel_safety,
+        spec,
+        scenario_layer,
+    ):
         rules.extend(rule_class() for rule_class in family.RULES)
     rules.sort(key=lambda rule: rule.rule_id)
     return rules

@@ -1,0 +1,78 @@
+"""SL6xx — scenario-layer discipline: networks are built from specs.
+
+Since the declarative scenario layer landed, the one blessed way to
+stand up a simulated network is::
+
+    from repro.scenario import ScenarioSpec, build
+    net = build(spec)
+
+Hand-constructing ``Simulator()`` / ``Medium(...)`` / ``Node(...)``
+outside :mod:`repro.scenario` re-creates exactly the wiring drift the
+spec layer exists to kill: ad hoc seeds, inconsistent stream names,
+event-insertion orders that silently diverge from the cached sweep
+points.  SL601 flags such constructions.  The scenario package itself
+and test code are exempt (tests legitimately poke the raw kernel), and
+genuinely special setups can waive inline with a justification::
+
+    sim = Simulator()  # simlint: waive[SL601] -- needs a bare kernel
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.simlint.checker import Finding, ParsedModule
+
+#: Constructors that belong to the scenario builder.
+_RAW_CONSTRUCTORS = frozenset({"Simulator", "Medium", "Node"})
+
+#: Path segments whose files may construct the raw kernel directly.
+_EXEMPT_SEGMENTS = frozenset({"scenario", "tests"})
+
+
+def _constructor_name(node: ast.Call) -> str | None:
+    """The bare class name of ``Name(...)`` or ``pkg.mod.Name(...)`` calls."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class RawNetworkConstructionRule:
+    """SL601: Simulator/Medium/Node built outside the scenario layer."""
+
+    rule_id = "SL601"
+    summary = (
+        "direct Simulator()/Medium()/Node() construction outside "
+        "repro.scenario; build networks from a ScenarioSpec via "
+        "repro.scenario.build"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        segments = set(module.relpath.split("/"))
+        if segments & _EXEMPT_SEGMENTS:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _constructor_name(node)
+            if name not in _RAW_CONSTRUCTORS:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"direct {name}(...) construction bypasses the "
+                    "scenario layer; express the setup as a ScenarioSpec "
+                    "and call repro.scenario.build (waivable for "
+                    "genuinely bespoke kernels)"
+                ),
+            )
+
+
+RULES = [RawNetworkConstructionRule]

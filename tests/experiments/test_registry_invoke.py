@@ -1,0 +1,61 @@
+"""Registry shims declare their parameters; unknown overrides fail loudly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import EXPERIMENTS, Experiment
+from repro.experiments.runner import run_experiment
+
+
+def test_every_shim_declares_explicit_parameters():
+    for experiment in EXPERIMENTS.values():
+        assert not experiment._accepts_anything(), (
+            f"{experiment.name} still has a **kwargs sink"
+        )
+
+
+def test_invoke_rejects_unknown_override_listing_accepted():
+    with pytest.raises(ExperimentError) as excinfo:
+        EXPERIMENTS["figure2"].invoke({"duraton_s": 1.0})
+    message = str(excinfo.value)
+    assert "duraton_s" in message
+    assert "duration_s" in message  # the accepted-keys list
+
+
+def test_invoke_filters_harness_keywords_to_the_signature():
+    # figure1 takes no parameters; the runner's standard keywords must
+    # not crash it.
+    output = EXPERIMENTS["figure1"].invoke(
+        None, seed=1, duration_s=10.0, probes=200, jobs=1, cache=None,
+        policy=None,
+    )
+    assert output
+
+
+def test_invoke_applies_overrides():
+    fast = EXPERIMENTS["figure2"].invoke({"duration_s": 0.5, "seed": 2})
+    assert "Figure 2" in fast
+
+
+def test_runner_surfaces_unknown_override_as_failure_record():
+    result = run_experiment("figure1", overrides={"nonsense": 1})
+    assert not result.ok
+    assert result.error_type == "ExperimentError"
+    assert "nonsense" in result.error
+
+
+def test_var_keyword_test_doubles_still_pass_through():
+    def fake(**kwargs) -> str:
+        return str(sorted(kwargs))
+
+    experiment = Experiment("fake", "test double", fake)
+    out = experiment.invoke({"anything": 1}, seed=3)
+    assert "anything" in out and "seed" in out
+
+
+def test_accepted_params_reflect_signature():
+    assert EXPERIMENTS["figure3"].accepted_params() == (
+        "probes", "seed", "jobs", "cache", "policy",
+    )

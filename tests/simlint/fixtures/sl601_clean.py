@@ -1,0 +1,19 @@
+"""Clean for SL601: the network is declared as a spec and built."""
+
+from repro.scenario import (
+    FlowSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+    build,
+)
+
+
+def spec_built_network():
+    spec = ScenarioSpec(
+        topology=TopologySpec.line(0, 10),
+        traffic=TrafficSpec(flows=(FlowSpec(kind="cbr", src=0, dst=1),)),
+        seed=1,
+        duration_s=1.0,
+    )
+    return build(spec)

@@ -1,0 +1,12 @@
+"""Triggers SL601: hand-wires the simulation kernel instead of a spec."""
+
+from repro.net.node import Node
+from repro.phy.medium import Medium
+from repro.sim.engine import Simulator
+
+
+def handwired_network(channel, config):
+    sim = Simulator()
+    medium = Medium(sim, channel)
+    node = Node(sim, medium, address=1, config=config)
+    return sim, medium, node

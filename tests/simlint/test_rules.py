@@ -26,6 +26,7 @@ RULE_IDS = [
     "SL302",
     "SL401",
     "SL402",
+    "SL601",
 ]
 
 
