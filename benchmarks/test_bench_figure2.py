@@ -1,6 +1,6 @@
 """Bench ``figure2``: theoretical vs simulated TCP/UDP throughput."""
 
-from benchmarks.util import run_once, save_artifact
+from benchmarks.util import run_once, save_artifact, save_audit
 from repro.core.params import Rate
 from repro.experiments.two_nodes import format_figure2, run_figure2
 
@@ -10,6 +10,7 @@ def test_bench_figure2(benchmark):
         benchmark, run_figure2, rate=Rate.MBPS_11, duration_s=2.0, warmup_s=0.3
     )
     save_artifact("figure2", format_figure2(results))
+    save_audit("figure2", "figure2", duration_s=1.5, seed=1)
 
     by_key = {(r.transport, r.rts_cts): r for r in results}
     # UDP saturates to the analytic bound (paper: "very close").

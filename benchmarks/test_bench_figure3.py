@@ -1,6 +1,6 @@
 """Bench ``figure3``: packet loss vs distance for the four rates."""
 
-from benchmarks.util import run_once, save_artifact
+from benchmarks.util import run_once, save_artifact, save_audit
 from repro.experiments.ranges import (
     estimate_tx_range,
     format_loss_curves,
@@ -17,6 +17,7 @@ def test_bench_figure3(benchmark):
         format_loss_curves(curves, "Figure 3 - loss vs distance"),
         benchmark=benchmark,
     )
+    save_audit("figure3", "figure3", probes=30, seed=1, benchmark=benchmark)
 
     by_rate = {curve.rate.mbps: curve for curve in curves}
     # The range ladder: faster rates cross 50% loss closer in.

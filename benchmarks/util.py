@@ -44,3 +44,30 @@ def run_once(benchmark, function, *args, **kwargs):
     _active_benchmark = benchmark
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1,
                               iterations=1)
+
+
+def save_audit(name: str, experiment: str, benchmark=None, **kwargs) -> Path:
+    """Audit ``experiment`` outside the timed region and link the artefact.
+
+    Runs a short strict flight-recorder audit of the same registry
+    experiment (pass ``duration_s``/``probes``/``seed`` to keep it
+    cheap) and writes the drop-reason breakdown next to the bench
+    artefact.  The path and verdict land in ``extra_info`` so a
+    ``--benchmark-json`` report ties every timing to proof that the
+    timed configuration conserves packets.  The audit run is separate
+    from the timed one, so it never perturbs the measurement.
+    """
+    from repro.obs import audit_experiment
+
+    outcome = audit_experiment(experiment, **kwargs)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.audit.txt"
+    path.write_text(outcome.render() + "\n")
+    target = benchmark if benchmark is not None else _active_benchmark
+    if target is not None:
+        target.extra_info["audit_artifact"] = str(path)
+        target.extra_info["audit_balanced"] = outcome.balanced
+        target.extra_info["audit_sdus"] = sum(
+            report.opened for report in outcome.reports
+        )
+    return path

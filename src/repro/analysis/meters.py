@@ -1,9 +1,19 @@
-"""Throughput, loss and delay meters with warm-up trimming."""
+"""Throughput, loss and delay meters with warm-up trimming.
+
+The simulation clock is integer nanoseconds; the meters historically
+took float seconds, which loses integer precision exactly at the warmup
+boundary (a packet at ``t == warmup`` must count).  The ``record_ns``
+entry points are the native API; the float paths remain for analysis of
+wall-clock data but are deprecated at simulation call sites.
+"""
 
 from __future__ import annotations
 
+import warnings
+
 from repro.analysis.stats import RunningStats
 from repro.errors import ConfigurationError
+from repro.units import ns_to_s, s_to_ns
 
 
 class ThroughputMeter:
@@ -12,24 +22,51 @@ class ThroughputMeter:
     def __init__(self, warmup_s: float = 0.0):
         if warmup_s < 0:
             raise ConfigurationError(f"warmup must be >= 0 s, got {warmup_s}")
+        # Kept as the float the caller gave us so the window arithmetic
+        # in throughput_bps is bit-identical to the historical API.
         self._warmup_s = warmup_s
+        self._warmup_ns = s_to_ns(warmup_s)
         self._bytes = 0
-        self._last_time_s = 0.0
+        self._last_time_ns = 0
 
     @property
     def bytes(self) -> int:
         """Bytes counted after the warm-up."""
         return self._bytes
 
-    def record(self, nbytes: int, time_s: float) -> None:
-        """Count ``nbytes`` delivered at ``time_s``."""
-        self._last_time_s = max(self._last_time_s, time_s)
-        if time_s >= self._warmup_s:
+    @property
+    def warmup_ns(self) -> int:
+        """The warmup boundary on the simulation clock."""
+        return self._warmup_ns
+
+    def record_ns(self, nbytes: int, time_ns: int) -> None:
+        """Count ``nbytes`` delivered at integer sim time ``time_ns``.
+
+        The boundary is inclusive: a delivery at exactly the warmup
+        instant counts (matching every sink's ``now >= warmup`` gate).
+        """
+        self._last_time_ns = max(self._last_time_ns, time_ns)
+        if time_ns >= self._warmup_ns:
             self._bytes += nbytes
+
+    def record(self, nbytes: int, time_s: float) -> None:
+        """Float-seconds entry point.
+
+        .. deprecated:: use :meth:`record_ns` from simulation code — a
+           float timestamp can land on the wrong side of the warmup
+           boundary after rounding.
+        """
+        warnings.warn(
+            "ThroughputMeter.record(time_s) is deprecated in simulation "
+            "code; use record_ns(time_ns)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.record_ns(nbytes, s_to_ns(time_s))
 
     def throughput_bps(self, horizon_s: float | None = None) -> float:
         """Bits per second over [warmup, horizon]."""
-        end = horizon_s if horizon_s is not None else self._last_time_s
+        end = horizon_s if horizon_s is not None else ns_to_s(self._last_time_ns)
         window = end - self._warmup_s
         if window <= 0:
             return 0.0
@@ -37,11 +74,18 @@ class ThroughputMeter:
 
 
 class LossMeter:
-    """Sent-vs-received packet accounting."""
+    """Sent-vs-received packet accounting.
+
+    The optional ns-native entry points additionally pin the window the
+    packets fell in, so loss over a measurement window can be checked
+    against the ledger's accounting.
+    """
 
     def __init__(self) -> None:
         self.sent = 0
         self.received = 0
+        self.first_sent_ns: int | None = None
+        self.last_received_ns: int | None = None
 
     def record_sent(self, count: int = 1) -> None:
         """Count offered packets."""
@@ -49,6 +93,18 @@ class LossMeter:
 
     def record_received(self, count: int = 1) -> None:
         """Count delivered packets."""
+        self.received += count
+
+    def record_sent_ns(self, time_ns: int, count: int = 1) -> None:
+        """Count offered packets at integer sim time ``time_ns``."""
+        if self.first_sent_ns is None or time_ns < self.first_sent_ns:
+            self.first_sent_ns = time_ns
+        self.sent += count
+
+    def record_received_ns(self, time_ns: int, count: int = 1) -> None:
+        """Count delivered packets at integer sim time ``time_ns``."""
+        if self.last_received_ns is None or time_ns > self.last_received_ns:
+            self.last_received_ns = time_ns
         self.received += count
 
     @property

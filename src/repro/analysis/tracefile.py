@@ -13,6 +13,23 @@ from pathlib import Path
 from repro.sim.tracing import TraceRecord, Tracer
 
 
+def encode_record(record: TraceRecord) -> str:
+    """The canonical one-line JSON encoding of a trace record.
+
+    Shared by :class:`TraceWriter` and the :mod:`repro.obs` exporters so
+    a streamed digest of a run's event stream matches a digest computed
+    over the written file line by line.
+    """
+    return json.dumps(
+        {
+            "t_ns": record.time_ns,
+            "category": record.category,
+            "event": record.event,
+            **record.fields,
+        }
+    )
+
+
 class TraceWriter:
     """Streams trace records to a ``.jsonl`` file.
 
@@ -43,15 +60,7 @@ class TraceWriter:
             self._handle = None
 
     def _on_record(self, record: TraceRecord) -> None:
-        json.dump(
-            {
-                "t_ns": record.time_ns,
-                "category": record.category,
-                "event": record.event,
-                **record.fields,
-            },
-            self._handle,
-        )
+        self._handle.write(encode_record(record))
         self._handle.write("\n")
         self.records_written += 1
 

@@ -80,6 +80,16 @@ class CbrSource:
         payload: object = self._sequence
         if self._timestamped:
             payload = (self._sequence, self._node.sim.now_s)
+        tracer = self._node.ip.tracer
+        if tracer.audit:
+            tracer.emit_audit(
+                self._node.sim.now_ns,
+                f"app.{self._node.address}",
+                "offer",
+                seq=self._sequence,
+                dst=self._dst,
+                size_bytes=self._payload_bytes,
+            )
         accepted = self._socket.send(
             payload, self._payload_bytes, self._dst, self._dst_port
         )

@@ -33,6 +33,15 @@ class UdpSink:
         now = self._node.sim.now_ns
         self.packets += 1
         self.bytes += payload_bytes
+        tracer = self._node.ip.tracer
+        if tracer.audit:
+            tracer.emit_audit(
+                now,
+                f"app.{self._node.address}",
+                "rx",
+                src=src,
+                size_bytes=payload_bytes,
+            )
         if isinstance(payload, int):
             self.sequences.append(payload)
         elif isinstance(payload, tuple) and len(payload) == 2:

@@ -9,6 +9,7 @@ Regenerates the paper's tables and figures from the terminal::
     repro80211 figure3 --no-cache               # force re-simulation
     repro80211 list --clear-cache               # drop every cached sweep point
     repro80211 profile figure3 --probes 100     # cProfile top-N report
+    repro80211 audit figure7 --duration 2       # packet ledger + invariant audit
     repro80211 all --duration 5 --probes 100 --timeout 120 --report run.json
     repro80211 lint --format json               # simulator static analysis
     repro80211 figure2 --set duration_s=1.5     # override a declared parameter
@@ -54,6 +55,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment name, 'list' to enumerate, 'all' for everything, "
             "'profile' (with an experiment name) for a cProfile report, "
+            "'audit' (with an experiment name) to run it under the "
+            "flight-recorder packet ledger and invariant auditors, "
             "'spec' (with a JSON file) to run a declarative scenario, or "
             "'lint' for the simulator static-analysis checks"
         ),
@@ -63,8 +66,8 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "experiment to profile (with 'profile') or scenario spec file "
-            "(with 'spec')"
+            "experiment to profile/audit (with 'profile'/'audit') or "
+            "scenario spec file (with 'spec')"
         ),
     )
     parser.add_argument(
@@ -225,6 +228,30 @@ def _run_spec(args: argparse.Namespace, cache) -> int:
     return 0
 
 
+def _audit(args: argparse.Namespace) -> int:
+    """Run one experiment with the flight recorder on and print the audit."""
+    from repro.obs import audit_experiment
+
+    if args.target is None:
+        print("error: audit needs an experiment name", file=sys.stderr)
+        return 2
+    try:
+        outcome = audit_experiment(
+            args.target,
+            overrides=_parse_overrides(args.overrides),
+            duration_s=args.duration,
+            seed=args.seed,
+            probes=args.probes,
+        )
+    except BrokenPipeError:  # pragma: no cover - output piped to head
+        return 0
+    except Exception as error:  # noqa: BLE001 - one-line CLI surface
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(outcome.render())
+    return 0
+
+
 def _profile(args: argparse.Namespace) -> int:
     from repro.profiling import profile_experiment
 
@@ -273,6 +300,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.experiment == "profile":
         return _profile(args)
+    if args.experiment == "audit":
+        return _audit(args)
     if args.experiment == "spec":
         return _run_spec(args, cache)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

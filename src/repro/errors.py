@@ -36,6 +36,17 @@ class WatchdogTimeout(SimulationError):
     """
 
 
+class AuditError(SimulationError):
+    """An online invariant auditor or the packet ledger found a violation.
+
+    Raised by :mod:`repro.obs` components while the simulation runs
+    (airtime over-occupancy, NAV going negative, TCP sequence numbers
+    moving backwards) or at finalisation when the packet-conservation
+    ledger does not balance.  The message always carries the simulated
+    time of the violation.
+    """
+
+
 class FaultError(ReproError):
     """A fault schedule is invalid or targets an incompatible network."""
 

@@ -219,10 +219,23 @@ class NodeCrash(Fault):
         _check_node_index(net, self.node, self.kind)
 
     def apply(self, net: "ScenarioNetwork") -> None:
-        net.nodes[self.node].crash()
+        node = net.nodes[self.node]
+        tracer = net.tracer
+        if tracer.audit:
+            # The crash context event precedes the MAC queue flush, so the
+            # ledger can attribute the flood of fault-crash drops.
+            tracer.emit_audit(
+                net.sim.now_ns, "fault", "crash", node=node.address
+            )
+        node.crash()
 
     def revert(self, net: "ScenarioNetwork") -> None:
         node = net.nodes[self.node]
+        tracer = net.tracer
+        if tracer.audit:
+            tracer.emit_audit(
+                net.sim.now_ns, "fault", "reboot", node=node.address
+            )
         node.reboot()
         if self.on_reboot is not None:
             self.on_reboot(node)

@@ -273,6 +273,16 @@ class MacStation(PhyListener):
         return self._config
 
     @property
+    def sim(self) -> Simulator:
+        """The simulator this station schedules on."""
+        return self._sim
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer this station publishes to (shared by the stack)."""
+        return self._tracer
+
+    @property
     def queue_length(self) -> int:
         """Frames waiting behind the head-of-line frame."""
         return len(self._queue)
@@ -303,11 +313,17 @@ class MacStation(PhyListener):
             raise ConfigurationError(f"MSDU must be > 0 bytes, got {msdu_bytes}")
         if self._down:
             self.counters.queue_drops += 1
+            if self._tracer.audit:
+                self._audit_sdu("sdu_drop", msdu, dst, reason="fault-crash")
             return False
         if len(self._queue) >= self._config.max_queue_frames:
             self.counters.queue_drops += 1
+            if self._tracer.audit:
+                self._audit_sdu("sdu_drop", msdu, dst, reason="queue-overflow")
             return False
         self._queue.append((msdu, dst, msdu_bytes))
+        if self._tracer.audit:
+            self._audit_sdu("sdu_enqueue", msdu, dst)
         self._ensure_access_pending()
         return True
 
@@ -335,6 +351,14 @@ class MacStation(PhyListener):
         self.counters.flushed_frames += len(self._queue)
         if self._work is not None:
             self.counters.flushed_frames += 1
+        if self._tracer.audit:
+            for msdu, dst, _bytes in self._queue:
+                self._audit_sdu("sdu_drop", msdu, dst, reason="fault-crash")
+            if self._work is not None:
+                self._audit_sdu(
+                    "sdu_drop", self._work.msdu, self._work.dst,
+                    reason="fault-crash",
+                )
         self._queue.clear()
         self._work = None
         for timer in self._timers():
@@ -579,6 +603,8 @@ class MacStation(PhyListener):
         if work.retries > limit:
             self.counters.tx_drops += 1
             self._cw.reset()
+            if self._tracer.audit:
+                self._audit_sdu("sdu_drop", work.msdu, work.dst, reason="retry-limit")
             self._sent_callback(work.msdu, work.dst, False)
             self._complete_exchange()
         else:
@@ -606,6 +632,8 @@ class MacStation(PhyListener):
             self._schedule_response("data", None)
             return
         self.counters.tx_success += 1
+        if self._tracer.audit:
+            self._audit_sdu("sdu_tx_ok", work.msdu, work.dst)
         self._sent_callback(work.msdu, work.dst, True)
         self._complete_exchange()
 
@@ -730,6 +758,13 @@ class MacStation(PhyListener):
         moved = self._nav.update(self._sim.now_ns + us_to_ns(duration_us))
         if moved:
             self._trace("nav_set", until_us=round(self._nav.until_ns / 1000))
+            if self._tracer.audit:
+                self._tracer.emit_audit(
+                    self._sim.now_ns,
+                    f"mac.{self.address}",
+                    "nav",
+                    until_ns=self._nav.until_ns,
+                )
             self._on_medium_state_change()
         return moved
 
@@ -810,3 +845,18 @@ class MacStation(PhyListener):
 
     def _trace(self, event: str, **fields: Any) -> None:
         self._tracer.emit(self._sim.now_ns, f"mac.{self.address}", event, **fields)
+
+    def _audit_sdu(self, event: str, msdu: Any, dst: int, **fields: Any) -> None:
+        """Audit-channel SDU lifecycle event (callers gate on tracer.audit)."""
+        sdu = getattr(msdu, "sdu_id", -1)
+        if sdu < 0:
+            return
+        self._tracer.emit_audit(
+            self._sim.now_ns,
+            f"mac.{self.address}",
+            event,
+            sdu=sdu,
+            origin=msdu.src,
+            dst=dst,
+            **fields,
+        )

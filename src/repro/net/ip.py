@@ -21,6 +21,7 @@ class IpLayer:
         self._address = mac.address
         self._routing = routing if routing is not None else StaticRouting(mac.address)
         self._handlers: dict[str, ProtocolHandler] = {}
+        self._next_sdu_id = 0
         self.datagrams_sent = 0
         self.datagrams_forwarded = 0
         self.datagrams_delivered = 0
@@ -36,6 +37,16 @@ class IpLayer:
     def routing(self) -> StaticRouting:
         """The routing table."""
         return self._routing
+
+    @property
+    def sim(self):
+        """The simulator of the MAC this layer rides on."""
+        return self._mac.sim
+
+    @property
+    def tracer(self):
+        """The stack's shared tracer."""
+        return self._mac.tracer
 
     def register_protocol(self, protocol: str, handler: ProtocolHandler) -> None:
         """Attach a transport: ``handler(segment, src)`` on delivery."""
@@ -54,7 +65,24 @@ class IpLayer:
             protocol=protocol,
             segment=segment,
             size_bytes=segment_bytes + IP_HEADER_BYTES,
+            sdu_id=self._next_sdu_id,
         )
+        self._next_sdu_id += 1
+        tracer = self._mac.tracer
+        if tracer.audit:
+            # The open event must precede the MAC's enqueue/drop events,
+            # so the ledger sees the SDU before any terminal state.
+            tracer.emit_audit(
+                self._mac.sim.now_ns,
+                f"net.{self._address}",
+                "sdu_open",
+                sdu=datagram.sdu_id,
+                origin=self._address,
+                dst=dst,
+                protocol=protocol,
+                size_bytes=datagram.size_bytes,
+                src_port=getattr(segment, "src_port", None),
+            )
         accepted = self._transmit(datagram)
         if accepted:
             self.datagrams_sent += 1
@@ -69,12 +97,29 @@ class IpLayer:
     def _on_mac_receive(self, msdu: Any, mac_src: int) -> None:
         if not isinstance(msdu, Datagram):
             return
+        tracer = self._mac.tracer
         if msdu.dst == self._address:
             self.datagrams_delivered += 1
+            if tracer.audit and msdu.sdu_id >= 0:
+                tracer.emit_audit(
+                    self._mac.sim.now_ns,
+                    f"net.{self._address}",
+                    "sdu_deliver",
+                    sdu=msdu.sdu_id,
+                    origin=msdu.src,
+                )
             handler = self._handlers.get(msdu.protocol)
             if handler is not None:
                 handler(msdu.segment, msdu.src)
             return
         # Not for us: forward if we know a way (multi-hop extension).
         self.datagrams_forwarded += 1
+        if tracer.audit and msdu.sdu_id >= 0:
+            tracer.emit_audit(
+                self._mac.sim.now_ns,
+                f"net.{self._address}",
+                "sdu_forward",
+                sdu=msdu.sdu_id,
+                origin=msdu.src,
+            )
         self._transmit(msdu)

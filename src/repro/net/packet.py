@@ -30,6 +30,11 @@ class Datagram:
     #: Full datagram size (transport segment + IP header), in bytes;
     #: this is the MSDU size the MAC transmits.
     size_bytes: int
+    #: Flight-recorder identity: unique per originating node, assigned
+    #: by :class:`~repro.net.ip.IpLayer` so the packet-conservation
+    #: ledger can follow the SDU across layers.  ``-1`` means untracked
+    #: (datagrams built outside an :class:`IpLayer`, e.g. in tests).
+    sdu_id: int = -1
 
     def __post_init__(self) -> None:
         if self.size_bytes < IP_HEADER_BYTES:

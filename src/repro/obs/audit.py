@@ -1,0 +1,104 @@
+"""``repro80211 audit`` — run a registry experiment with auditors on.
+
+Runs the experiment serially and uncached: a cached sweep point skips
+the simulation entirely, and a ledger over zero events would balance
+vacuously.  Every network the experiment builds gets a strict flight
+recorder; any invariant violation or conservation leak aborts the run
+with :class:`~repro.errors.AuditError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.analysis.tables import render_table
+from repro.obs.ledger import DROP_REASONS
+from repro.obs.recorder import AuditReport
+from repro.obs.session import AuditCollector
+
+
+@dataclass(frozen=True)
+class AuditOutcome:
+    """Aggregated audit of one experiment run."""
+
+    experiment: str
+    output: str
+    reports: tuple[AuditReport, ...]
+
+    @property
+    def balanced(self) -> bool:
+        """True when every simulated network balanced its ledger."""
+        return all(report.balanced for report in self.reports)
+
+    @property
+    def violations(self) -> tuple[str, ...]:
+        """All invariant violations across all runs."""
+        return tuple(
+            violation
+            for report in self.reports
+            for violation in report.violations
+        )
+
+    def drop_breakdown(self) -> dict[str, int]:
+        """Total SDUs per terminal state across all simulated networks."""
+        totals = {"delivered": 0}
+        for reason in DROP_REASONS:
+            totals[reason] = 0
+        for report in self.reports:
+            totals["delivered"] += report.delivered
+            for reason, count in report.drops.items():
+                totals[reason] = totals.get(reason, 0) + count
+        return totals
+
+    def render(self) -> str:
+        """The audit verdict: breakdown table plus a grep-able line."""
+        totals = self.drop_breakdown()
+        opened = sum(report.opened for report in self.reports)
+        rows: list[list[object]] = [
+            [state, count] for state, count in totals.items()
+        ]
+        rows.append(["opened (total)", opened])
+        table = render_table(
+            ["terminal state", "SDUs"],
+            rows,
+            title=f"Audit: {self.experiment} "
+            f"({len(self.reports)} simulated network(s))",
+        )
+        if self.balanced and not self.violations:
+            verdict = (
+                f"ledger balanced: {opened} SDUs accounted for across "
+                f"{len(self.reports)} network(s), 0 invariant violations"
+            )
+        else:  # pragma: no cover - strict mode raises before this
+            verdict = "ledger NOT balanced"
+        return f"{table}\n{verdict}"
+
+
+def audit_experiment(
+    name: str,
+    overrides: Mapping[str, Any] | None = None,
+    *,
+    duration_s: float | None = None,
+    seed: int | None = None,
+    probes: int | None = None,
+    strict: bool = True,
+) -> AuditOutcome:
+    """Run experiment ``name`` under a strict audit and aggregate it."""
+    from repro.experiments.registry import get_experiment
+
+    experiment = get_experiment(name)
+    harness: dict[str, Any] = {"jobs": 1, "cache": None}
+    if duration_s is not None:
+        harness["duration_s"] = duration_s
+    if seed is not None:
+        harness["seed"] = seed
+    if probes is not None:
+        harness["probes"] = probes
+    with AuditCollector(strict=strict) as collector:
+        output = experiment.invoke(overrides, **harness)
+    return AuditOutcome(
+        experiment=name,
+        output=output,
+        reports=tuple(collector.reports),
+    )

@@ -1,0 +1,175 @@
+"""Online invariant auditors.
+
+Each auditor subscribes to a slice of the trace stream and checks one
+cross-layer invariant *while the simulation runs*.  A violation calls
+``on_violation(message)`` — the :class:`~repro.obs.recorder.FlightRecorder`
+wires that to raise :class:`~repro.errors.AuditError` immediately (fail
+fast, with sim-time context in the message) unless strict mode is off,
+in which case violations accumulate on :attr:`Auditor.violations`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.tracing import TraceRecord
+from repro.units import ns_to_s
+
+
+class Auditor:
+    """Base class: violation plumbing shared by all auditors."""
+
+    #: Subscription prefix on the tracer.
+    prefix = ""
+
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+        self.on_violation: Callable[[str], None] | None = None
+
+    def violate(self, time_ns: int, message: str) -> None:
+        """Record a violation stamped with its simulation time."""
+        stamped = f"[t={ns_to_s(time_ns):.6f}s] {type(self).__name__}: {message}"
+        self.violations.append(stamped)
+        if self.on_violation is not None:
+            self.on_violation(stamped)
+
+    def on_record(self, record: TraceRecord) -> None:
+        """Tracer subscriber; override."""
+        raise NotImplementedError
+
+    def finalize(self, end_ns: int) -> None:
+        """End-of-run checks; default none."""
+
+
+class AirtimeAuditor(Auditor):
+    """Airtime occupancy can never exceed elapsed simulation time.
+
+    Rides the *regular* ``phy.`` trace events (``tx_start`` carries the
+    transmission duration), so it needs no audit channel.  Two checks
+    per station at each transmission start, one for the medium union at
+    the end:
+
+    * a station's cumulative airtime never exceeds the clock,
+    * a station never starts transmitting before its previous
+      transmission ended (half-duplex violation),
+    * the union of all transmission intervals fits in the run.
+    """
+
+    prefix = "phy."
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._busy_ns: dict[str, int] = {}
+        self._last_end_ns: dict[str, int] = {}
+        self._union_busy_ns = 0
+        self._union_end_ns = 0
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.event != "tx_start":
+            return
+        station = record.category
+        now = record.time_ns
+        dur = record.fields.get("dur_ns", 0)
+        last_end = self._last_end_ns.get(station, 0)
+        if now < last_end:
+            self.violate(
+                now,
+                f"{station} starts a transmission at {now} ns while its "
+                f"previous one runs until {last_end} ns",
+            )
+        busy = self._busy_ns.get(station, 0)
+        if busy > now:
+            self.violate(
+                now,
+                f"{station} has accumulated {busy} ns of airtime but only "
+                f"{now} ns have elapsed",
+            )
+        self._busy_ns[station] = busy + dur
+        self._last_end_ns[station] = now + dur
+        # Union of transmission intervals across the medium: events
+        # arrive in time order, so a running (busy, end) pair suffices.
+        if now >= self._union_end_ns:
+            self._union_busy_ns += dur
+        else:
+            self._union_busy_ns += max(0, now + dur - self._union_end_ns)
+        self._union_end_ns = max(self._union_end_ns, now + dur)
+
+    def finalize(self, end_ns: int) -> None:
+        horizon = max(end_ns, self._union_end_ns)
+        if self._union_busy_ns > horizon:
+            self.violate(
+                end_ns,
+                f"medium occupied for {self._union_busy_ns} ns of a "
+                f"{horizon} ns run",
+            )
+
+    @property
+    def union_busy_ns(self) -> int:
+        """Total time at least one station was transmitting."""
+        return self._union_busy_ns
+
+
+class NavAuditor(Auditor):
+    """The NAV (virtual carrier sense) never points into the past."""
+
+    prefix = "mac."
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.event != "nav":
+            return
+        until_ns = record.fields["until_ns"]
+        if until_ns < record.time_ns:
+            self.violate(
+                record.time_ns,
+                f"{record.category} set NAV to {until_ns} ns, which is "
+                f"before the current time {record.time_ns} ns",
+            )
+
+
+class TcpMonotonicAuditor(Auditor):
+    """TCP sequence/ack monotonicity per connection.
+
+    ``snd_una`` and ``rcv_nxt`` only move forward, and ``snd_una`` never
+    overtakes ``snd_nxt``.  State resets on each audit ``open`` event:
+    a crash-reboot cycle restarts a flow on the same (addr, port), and
+    the fresh connection legitimately begins back at sequence 0.
+    """
+
+    prefix = "tcp."
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._state: dict[str, tuple[int, int]] = {}  # category -> (una, rcv)
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.event == "open":
+            self._state.pop(record.category, None)
+            return
+        if record.event != "state":
+            return
+        snd_una = record.fields["snd_una"]
+        snd_nxt = record.fields["snd_nxt"]
+        rcv_nxt = record.fields["rcv_nxt"]
+        now = record.time_ns
+        if snd_una > snd_nxt:
+            self.violate(
+                now,
+                f"{record.category} snd_una={snd_una} overtook "
+                f"snd_nxt={snd_nxt}",
+            )
+        prev = self._state.get(record.category)
+        if prev is not None:
+            prev_una, prev_rcv = prev
+            if snd_una < prev_una:
+                self.violate(
+                    now,
+                    f"{record.category} snd_una moved backwards "
+                    f"{prev_una} -> {snd_una}",
+                )
+            if rcv_nxt < prev_rcv:
+                self.violate(
+                    now,
+                    f"{record.category} rcv_nxt moved backwards "
+                    f"{prev_rcv} -> {rcv_nxt}",
+                )
+        self._state[record.category] = (snd_una, rcv_nxt)

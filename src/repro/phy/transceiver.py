@@ -307,6 +307,8 @@ class Transceiver:
         self._state = PhyState.IDLE
         self._trace("rx_end", signal=signal.signal_id, outcome=outcome.value)
         mac_frame = phy_frame.mac_frame if outcome.success else None
+        if not outcome.success and self._tracer.audit:
+            self._audit_rx_fail(phy_frame, outcome.value)
         self._listener.on_rx_end(mac_frame, outcome)
 
     def _abort_reception(self) -> None:
@@ -316,6 +318,8 @@ class Transceiver:
         self._state = PhyState.IDLE
         if signal is not None:
             self._trace("rx_abort", signal=signal.signal_id)
+            if self._tracer.audit:
+                self._audit_rx_fail(signal.frame, ReceptionOutcome.ABORTED.value)
             self._listener.on_rx_end(None, ReceptionOutcome.ABORTED)
 
     def _update_cs(self) -> None:
@@ -333,3 +337,23 @@ class Transceiver:
 
     def _trace(self, event: str, **fields: Any) -> None:
         self._tracer.emit(self._sim.now_ns, f"phy.{self.name}", event, **fields)
+
+    def _audit_rx_fail(self, phy_frame: PhyFrame, outcome_value: str) -> None:
+        """Audit-channel record of a failed reception of a tracked SDU.
+
+        Duck-typed against ``mac_frame.msdu`` so the PHY stays ignorant
+        of MAC frame classes: only data frames carry an MSDU, and only
+        the last fragment of a burst carries the tracked one.
+        """
+        msdu = getattr(phy_frame.mac_frame, "msdu", None)
+        sdu = getattr(msdu, "sdu_id", -1)
+        if sdu < 0:
+            return
+        self._tracer.emit_audit(
+            self._sim.now_ns,
+            f"phy.{self.name}",
+            "sdu_rx_fail",
+            sdu=sdu,
+            origin=msdu.src,
+            outcome=outcome_value,
+        )

@@ -23,6 +23,7 @@ from repro.scenario.specs import (
     FaultSpec,
     FlowSpec,
     MobilitySpec,
+    ObservabilitySpec,
     ScenarioSpec,
     StackSpec,
     SweepAxis,
@@ -41,6 +42,7 @@ __all__ = [
     "FlowHandle",
     "FlowSpec",
     "MobilitySpec",
+    "ObservabilitySpec",
     "ScenarioNetwork",
     "ScenarioSpec",
     "StackSpec",

@@ -226,6 +226,10 @@ def build(spec: ScenarioSpec) -> ScenarioNetwork:
         arf=ArfConfig() if spec.stack.arf else None,
     )
     net.spec = spec
+    # The recorder must attach before flows are wired: a CBR source with
+    # start_s=0 offers its first packet during construction, and the
+    # ledger has to see that SDU open.
+    _attach_recorder(net, spec)
     handles = []
     for index, flow in enumerate(spec.traffic.flows):
         sink = _make_sink(net, flow, spec.warmup_s)
@@ -244,3 +248,30 @@ def build(spec: ScenarioSpec) -> ScenarioNetwork:
         net.fault_schedule = FaultSchedule.from_specs(spec.faults, flows=net.flows)
         net.fault_schedule.install(net)
     return net
+
+
+def _attach_recorder(net: ScenarioNetwork, spec: ScenarioSpec) -> None:
+    """Attach a flight recorder when the spec or the session asks for one.
+
+    Imported locally: observability is an optional layer, and builds
+    with it off must not pay the import.
+    """
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.session import active_collector
+
+    collector = active_collector()
+    obs = spec.observability
+    if collector is None and not obs.enabled:
+        return
+    recorder = FlightRecorder(
+        net.sim,
+        net.tracer,
+        audit=obs.audit or collector is not None,
+        strict=collector.strict if collector is not None else True,
+        trace_digest=obs.trace_digest,
+        trace_jsonl=obs.trace_jsonl,
+        ledger_jsonl=obs.ledger_jsonl,
+    ).attach()
+    net.recorder = recorder
+    if collector is not None:
+        collector.register(recorder)

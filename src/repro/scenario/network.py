@@ -15,6 +15,7 @@ from repro.sim.tracing import Tracer
 
 if TYPE_CHECKING:
     from repro.faults.schedule import FaultSchedule
+    from repro.obs.recorder import FlightRecorder
     from repro.scenario.specs import FlowSpec, ScenarioSpec
 
 
@@ -70,6 +71,9 @@ class ScenarioNetwork:
     spec: "ScenarioSpec | None" = None
     flows: tuple[FlowHandle, ...] = ()
     fault_schedule: "FaultSchedule | None" = None
+    #: Attached when the spec's observability section (or an active
+    #: :class:`~repro.obs.session.AuditCollector`) asks for one.
+    recorder: "FlightRecorder | None" = None
 
     def __getitem__(self, index: int) -> Node:
         return self.nodes[index]

@@ -52,7 +52,12 @@ def scenario_point(
     net = build(scenario)
     net.run(scenario.duration_s)
     extractor = resolve_point_fn(extract)
-    return extractor(net, **dict(extract_params or {}))
+    result = extractor(net, **dict(extract_params or {}))
+    if net.recorder is not None:
+        # Balance the books once the extractor (which may advance the
+        # simulation further) is done; strict recorders raise here.
+        net.recorder.finalize()
+    return result
 
 
 def scenario_sweep_points(

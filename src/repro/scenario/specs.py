@@ -91,6 +91,29 @@ def _integer(value: Any, what: str) -> int:
     return value
 
 
+def _freeze_types(
+    spec: Any,
+    float_fields: tuple[str, ...] = (),
+    bool_fields: tuple[str, ...] = (),
+) -> None:
+    """Normalise numeric/bool field types in place (frozen-safe).
+
+    ``ScenarioSpec(duration_s=1)`` and ``ScenarioSpec(duration_s=1.0)``
+    describe the same scenario and compare equal, but without coercion
+    they would serialise to different canonical bytes (``1`` vs ``1.0``)
+    and therefore different sweep-cache keys.  Coercing at construction
+    makes equality and canonical serialisation agree.
+    """
+    for name in float_fields:
+        value = getattr(spec, name)
+        if value is not None and not isinstance(value, float):
+            object.__setattr__(spec, name, float(value))
+    for name in bool_fields:
+        value = getattr(spec, name)
+        if not isinstance(value, bool):
+            object.__setattr__(spec, name, bool(value))
+
+
 @dataclass(frozen=True)
 class WeatherSpec:
     """Serialisable form of :class:`repro.channel.weather.DayConditions`."""
@@ -99,6 +122,11 @@ class WeatherSpec:
     offset_db: float
     sigma_db: float = 1.5
     correlation_time_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        _freeze_types(
+            self, ("offset_db", "sigma_db", "correlation_time_s")
+        )
 
     @classmethod
     def from_conditions(cls, day: DayConditions) -> "WeatherSpec":
@@ -150,6 +178,7 @@ class MobilitySpec:
     kind: str = "walk-away"
 
     def __post_init__(self) -> None:
+        _freeze_types(self, ("speed_m_s", "update_interval_s"))
         if self.kind != "walk-away":
             raise ConfigurationError(
                 f"unknown mobility kind {self.kind!r}; accepted: ['walk-away']"
@@ -216,6 +245,7 @@ class TopologySpec:
     mobility: tuple[MobilitySpec, ...] = ()
 
     def __post_init__(self) -> None:
+        _freeze_types(self, ("fast_sigma_db", "static_sigma_db"))
         object.__setattr__(self, "positions_m", _normalise_positions(self.positions_m))
         object.__setattr__(self, "mobility", tuple(self.mobility))
         if not self.positions_m:
@@ -285,6 +315,7 @@ class StackSpec:
     arf: bool = False
 
     def __post_init__(self) -> None:
+        _freeze_types(self, ("data_rate_mbps",), ("rts_enabled", "arf"))
         Rate.from_mbps(self.data_rate_mbps)  # validates; raises ConfigurationError
         if self.ack_policy not in {policy.value for policy in AckPolicy}:
             raise ConfigurationError(
@@ -367,6 +398,11 @@ class FlowSpec:
     total_bytes: int | None = None
 
     def __post_init__(self) -> None:
+        _freeze_types(
+            self,
+            ("rate_bps", "start_s", "mean_on_s", "mean_off_s"),
+            ("timestamped",),
+        )
         if self.kind not in FLOW_KINDS:
             raise ConfigurationError(
                 f"unknown flow kind {self.kind!r}; accepted: {list(FLOW_KINDS)}"
@@ -488,6 +524,12 @@ class FaultSpec:
     sigma_ns: float = 2000.0
 
     def __post_init__(self) -> None:
+        _freeze_types(
+            self,
+            ("start_s", "duration_s", "extra_loss_db", "noise_rise_db",
+             "sigma_ns"),
+            ("bidirectional",),
+        )
         if self.kind not in FAULT_KINDS:
             raise ConfigurationError(
                 f"unknown fault kind {self.kind!r}; accepted: {list(FAULT_KINDS)}"
@@ -610,6 +652,62 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class ObservabilitySpec:
+    """What the flight recorder should do for this scenario.
+
+    Everything defaults to off: an unobserved run pays one attribute
+    read per instrumented hook point and nothing else.  ``audit`` turns
+    on the packet-conservation ledger and the online invariant auditors
+    (strict: violations raise :class:`~repro.errors.AuditError`);
+    ``trace_digest`` streams a SHA-256 over the canonical encoding of
+    the event stream; the two paths dump JSONL artefacts.
+    """
+
+    audit: bool = False
+    trace_digest: bool = False
+    trace_jsonl: str | None = None
+    ledger_jsonl: str | None = None
+
+    def __post_init__(self) -> None:
+        _freeze_types(self, (), ("audit", "trace_digest"))
+        for name in ("trace_jsonl", "ledger_jsonl"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, str):
+                raise ConfigurationError(
+                    f"observability {name} must be a path string or null, "
+                    f"got {value!r}"
+                )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any recorder feature is requested."""
+        return bool(
+            self.audit
+            or self.trace_digest
+            or self.trace_jsonl
+            or self.ledger_jsonl
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "audit": self.audit,
+            "trace_digest": self.trace_digest,
+            "trace_jsonl": self.trace_jsonl,
+            "ledger_jsonl": self.ledger_jsonl,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ObservabilitySpec":
+        _check_keys(data, cls, "observability")
+        return cls(
+            audit=bool(data.get("audit", False)),
+            trace_digest=bool(data.get("trace_digest", False)),
+            trace_jsonl=data.get("trace_jsonl"),
+            ledger_jsonl=data.get("ledger_jsonl"),
+        )
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, runnable scenario: everything but the code."""
 
@@ -621,6 +719,7 @@ class ScenarioSpec:
     duration_s: float = 10.0
     warmup_s: float = 0.0
     name: str = "scenario"
+    observability: ObservabilitySpec = field(default_factory=ObservabilitySpec)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(self.faults))
@@ -671,6 +770,9 @@ class ScenarioSpec:
                         f"{fault.kind} fault restarts flow {flow_index}, but "
                         f"the scenario has {len(self.traffic.flows)} flows"
                     )
+        # After validation (which rejects bools) so `duration_s=True`
+        # still fails instead of silently becoming 1.0.
+        _freeze_types(self, ("duration_s", "warmup_s"))
 
     def to_dict(self) -> dict[str, Any]:
         """Versioned, JSON-ready representation (all fields explicit)."""
@@ -684,6 +786,7 @@ class ScenarioSpec:
             "seed": self.seed,
             "duration_s": self.duration_s,
             "warmup_s": self.warmup_s,
+            "observability": self.observability.to_dict(),
         }
 
     @classmethod
@@ -706,6 +809,9 @@ class ScenarioSpec:
             duration_s=_number(data.get("duration_s", 10.0), "scenario duration_s"),
             warmup_s=_number(data.get("warmup_s", 0.0), "scenario warmup_s"),
             name=str(data.get("name", "scenario")),
+            observability=ObservabilitySpec.from_dict(
+                data.get("observability", {})
+            ),
         )
 
     def canonical_json(self) -> str:

@@ -112,6 +112,7 @@ class Simulator:
         self._closed = False
         self._events_processed = 0
         self._live_events = 0
+        self._shutdown_hooks: list[Callable[[], None]] = []
         self.watchdog = watchdog
 
     @property
@@ -263,14 +264,34 @@ class Simulator:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
 
+    def add_shutdown_hook(self, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` at the start of :meth:`shutdown`.
+
+        Hooks fire in registration order, exactly once, while the
+        simulator is still usable — this is where end-of-life audits
+        (e.g. the packet-conservation ledger balance check) belong.
+        """
+        if self._closed:
+            raise SchedulingError(
+                "cannot add a shutdown hook to a shut-down simulator"
+            )
+        self._shutdown_hooks.append(callback)
+
     def shutdown(self) -> None:
         """Stop permanently: drop all events; further use raises.
 
-        After shutdown both :meth:`run` and the ``schedule*`` family
-        raise :class:`~repro.errors.SchedulingError` — a component whose
+        Registered shutdown hooks run first (in registration order),
+        then the event queue is dropped.  After shutdown both
+        :meth:`run` and the ``schedule*`` family raise
+        :class:`~repro.errors.SchedulingError` — a component whose
         timers outlive the scenario fails loudly instead of silently
         queueing work that will never run.
         """
+        if self._closed:
+            return
+        hooks, self._shutdown_hooks = self._shutdown_hooks, []
+        for hook in hooks:
+            hook()
         self.stop()
         self.clear()
         self._closed = True

@@ -36,6 +36,12 @@ class Tracer:
     def __init__(self) -> None:
         self._subscribers: list[tuple[str, TraceSubscriber]] = []
         self._counters: dict[str, int] = {}
+        #: Gate for the audit event channel (:meth:`emit_audit`).  A
+        #: public attribute so instrumented hook points can guard with a
+        #: single attribute read (``if tracer.audit: ...``) and pay
+        #: nothing — not even keyword-argument packing — when auditing
+        #: is off, which it is by default.
+        self.audit = False
 
     @property
     def enabled(self) -> bool:
@@ -64,6 +70,21 @@ class Tracer:
         for prefix, callback in self._subscribers:
             if key.startswith(prefix):
                 callback(record)
+
+    def emit_audit(
+        self, time_ns: int, category: str, event: str, **fields: Any
+    ) -> None:
+        """Publish an audit-channel record — a complete no-op unless
+        :attr:`audit` is on.
+
+        Audit events feed the :mod:`repro.obs` flight recorder.  When
+        disabled they bump no counter and fan out to nobody, so trace
+        counter digests (and cache keys derived from them) are identical
+        whether a build carries audit instrumentation or not.
+        """
+        if not self.audit:
+            return
+        self.emit(time_ns, category, event, **fields)
 
     def count(self, key: str) -> int:
         """How many records of ``category.event`` were emitted."""

@@ -131,6 +131,8 @@ class TcpConnection:
         if self.state is not TcpState.CLOSED:
             raise TransportError(f"connect in state {self.state}")
         self.state = TcpState.SYN_SENT
+        if self._tracer.audit:
+            self._audit("open", role="active", peer=self.remote_addr)
         self._send_control(syn=True)
         self.snd_nxt = 1
         self._rexmit_timer.start_s(self.rto.rto_s)
@@ -140,6 +142,8 @@ class TcpConnection:
         if self.state is not TcpState.CLOSED:
             raise TransportError(f"accept_syn in state {self.state}")
         self.state = TcpState.SYN_RCVD
+        if self._tracer.audit:
+            self._audit("open", role="passive", peer=self.remote_addr)
         self.reassembly = ReceiveReassembly(rcv_nxt=segment.seq + 1)
         self.peer_window = segment.window
         self._send_control(syn=True)  # SYN|ACK (ack_flag always set)
@@ -195,6 +199,13 @@ class TcpConnection:
         if segment.fin:
             self._process_fin(segment)
         self._pump()
+        if self._tracer.audit and self.state is not TcpState.CLOSED:
+            self._audit(
+                "state",
+                snd_una=self.snd_una,
+                snd_nxt=self.snd_nxt,
+                rcv_nxt=self.reassembly.rcv_nxt,
+            )
 
     def _process_ack(self, segment: TcpSegment) -> None:
         if not segment.ack_flag:
@@ -429,6 +440,8 @@ class TcpConnection:
         self._pump_timer.cancel()
         self._delack_timer.cancel()
         self._trace("closed", reason=reason)
+        if self._tracer.audit and reason != "closed":
+            self._audit("abort", reason=reason)
         self.on_closed(reason)
 
     def abort(self) -> None:
@@ -439,6 +452,15 @@ class TcpConnection:
 
     def _trace(self, event: str, **fields: Any) -> None:
         self._tracer.emit(
+            self._sim.now_ns,
+            f"tcp.{self.local_addr}:{self.local_port}",
+            event,
+            **fields,
+        )
+
+    def _audit(self, event: str, **fields: Any) -> None:
+        """Audit-channel event (callers gate on ``tracer.audit``)."""
+        self._tracer.emit_audit(
             self._sim.now_ns,
             f"tcp.{self.local_addr}:{self.local_port}",
             event,

@@ -106,11 +106,31 @@ class UdpProtocol:
 
     def send_segment(self, segment: UdpSegment, dst: int) -> bool:
         """Hand a segment to IP."""
+        tracer = self._ip.tracer
+        if tracer.audit:
+            tracer.emit_audit(
+                self._ip.sim.now_ns,
+                f"udp.{self._ip.address}",
+                "tx",
+                dst=dst,
+                dst_port=segment.dst_port,
+                size_bytes=segment.payload_bytes,
+            )
         return self._ip.send(
             segment, segment.payload_bytes + UDP_HEADER_BYTES, dst, TransportProtocol.UDP.value
         )
 
     def _on_segment(self, segment: UdpSegment, src: int) -> None:
+        tracer = self._ip.tracer
+        if tracer.audit:
+            tracer.emit_audit(
+                self._ip.sim.now_ns,
+                f"udp.{self._ip.address}",
+                "rx",
+                src=src,
+                dst_port=segment.dst_port,
+                size_bytes=segment.payload_bytes,
+            )
         socket = self._sockets.get(segment.dst_port)
         if socket is not None:
             socket._deliver(segment, src)

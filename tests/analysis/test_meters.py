@@ -9,20 +9,20 @@ from repro.errors import ConfigurationError
 class TestThroughputMeter:
     def test_counts_bytes_over_window(self):
         meter = ThroughputMeter()
-        meter.record(1000, 0.5)
-        meter.record(1000, 1.0)
+        meter.record_ns(1000, 500_000_000)
+        meter.record_ns(1000, 1_000_000_000)
         assert meter.throughput_bps(2.0) == pytest.approx(2000 * 8 / 2.0)
 
     def test_warmup_excludes_early_bytes(self):
         meter = ThroughputMeter(warmup_s=1.0)
-        meter.record(5000, 0.5)  # dropped
-        meter.record(1000, 1.5)
+        meter.record_ns(5000, 500_000_000)  # dropped
+        meter.record_ns(1000, 1_500_000_000)
         assert meter.bytes == 1000
         assert meter.throughput_bps(2.0) == pytest.approx(8000.0)
 
     def test_defaults_to_last_record_time(self):
         meter = ThroughputMeter()
-        meter.record(1000, 4.0)
+        meter.record_ns(1000, 4_000_000_000)
         assert meter.throughput_bps() == pytest.approx(2000.0)
 
     def test_empty_window_is_zero(self):
@@ -32,6 +32,31 @@ class TestThroughputMeter:
     def test_negative_warmup_rejected(self):
         with pytest.raises(ConfigurationError):
             ThroughputMeter(warmup_s=-1.0)
+
+    def test_warmup_boundary_is_inclusive(self):
+        # A delivery at exactly t == warmup must count: every sink gates
+        # with `now >= warmup`, and the meter must agree with the sinks.
+        meter = ThroughputMeter(warmup_s=1.0)
+        assert meter.warmup_ns == 1_000_000_000
+        meter.record_ns(100, 999_999_999)  # one ns early: dropped
+        assert meter.bytes == 0
+        meter.record_ns(100, 1_000_000_000)  # exactly on the boundary
+        assert meter.bytes == 100
+        meter.record_ns(100, 1_000_000_001)
+        assert meter.bytes == 200
+
+    def test_float_path_is_deprecated_but_equivalent(self):
+        meter = ThroughputMeter(warmup_s=1.0)
+        with pytest.warns(DeprecationWarning):
+            meter.record(1000, 1.5)
+        assert meter.bytes == 1000
+        assert meter.throughput_bps(2.0) == pytest.approx(8000.0)
+
+    def test_float_boundary_record_counts(self):
+        meter = ThroughputMeter(warmup_s=1.0)
+        with pytest.warns(DeprecationWarning):
+            meter.record(100, 1.0)  # exactly the warmup instant
+        assert meter.bytes == 100
 
 
 class TestLossMeter:
@@ -48,6 +73,18 @@ class TestLossMeter:
         meter = LossMeter()
         meter.record_sent(1)
         meter.record_received(2)  # duplicates can inflate this
+        assert meter.loss_rate == 0.0
+
+    def test_ns_entry_points_pin_the_window(self):
+        meter = LossMeter()
+        meter.record_sent_ns(2_000_000)
+        meter.record_sent_ns(1_000_000)
+        meter.record_received_ns(5_000_000)
+        meter.record_received_ns(3_000_000)
+        assert meter.sent == 2
+        assert meter.received == 2
+        assert meter.first_sent_ns == 1_000_000
+        assert meter.last_received_ns == 5_000_000
         assert meter.loss_rate == 0.0
 
 

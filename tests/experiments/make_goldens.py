@@ -188,14 +188,52 @@ def scenario_digests() -> dict:
     return digests
 
 
+def trace_spec_cases() -> dict:
+    """Name -> :class:`ScenarioSpec` with the streaming digest enabled.
+
+    These pin the *event-level JSONL stream* (every trace record, in
+    order, canonically encoded) rather than the counter fingerprint the
+    scenario digests use — a reordered event is invisible to counters
+    but changes this digest.
+    """
+    from repro.experiments.four_nodes import ASYMMETRIC_SESSIONS, panel_spec
+    from repro.scenario import ScenarioSpec
+
+    specs = {}
+    for name, transport in (("figure7-udp", "udp"), ("figure7-tcp", "tcp")):
+        spec = panel_spec(
+            "figure6", 11.0, transport, False, ASYMMETRIC_SESSIONS,
+            duration_s=1.0, seed=1,
+        )
+        specs[name] = ScenarioSpec.from_dict(
+            {**spec.to_dict(), "observability": {"trace_digest": True}}
+        )
+    return specs
+
+
+def trace_stream_digests() -> dict:
+    from repro.scenario import run_scenarios
+
+    digests = {}
+    for name, spec in trace_spec_cases().items():
+        [row] = run_scenarios(
+            [spec], extract="repro.obs.export:trace_digest_row"
+        )
+        digests[name] = row
+        print(f"  {name}: {row['trace_sha256'][:16]} ({row['records']} records)")
+    return digests
+
+
 def main() -> None:
     print("experiment outputs:")
     outputs = experiment_outputs()
     print("scenario digests:")
     digests = scenario_digests()
+    print("trace stream digests:")
+    traces = trace_stream_digests()
     GOLDENS_PATH.write_text(
         json.dumps(
-            {"experiments": outputs, "scenarios": digests},
+            {"experiments": outputs, "scenarios": digests, "traces": traces},
             indent=2,
             sort_keys=True,
         )

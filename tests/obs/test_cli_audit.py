@@ -1,0 +1,33 @@
+"""The ``repro80211 audit`` command surface."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+def test_audit_command_prints_the_verdict(capsys):
+    code = main(["audit", "figure2", "--duration", "1.5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Audit: figure2" in out
+    assert "ledger balanced:" in out
+
+
+def test_audit_needs_a_target(capsys):
+    code = main(["audit"])
+    assert code == 2
+    assert "audit needs an experiment name" in capsys.readouterr().err
+
+
+def test_audit_unknown_experiment_fails_cleanly(capsys):
+    code = main(["audit", "no-such-experiment"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_audit_accepts_parameter_overrides(capsys):
+    code = main(
+        ["audit", "fault-blackout", "--duration", "1.0", "--seed", "3"]
+    )
+    assert code == 0
+    assert "ledger balanced:" in capsys.readouterr().out

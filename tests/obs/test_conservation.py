@@ -1,0 +1,64 @@
+"""Packet conservation across the whole experiment registry.
+
+Every registry experiment runs (at reduced scale) under a strict
+:class:`AuditCollector`: each simulated network's ledger must balance
+exactly and no invariant auditor may fire.  Strict mode means a leak
+raises :class:`AuditError` mid-run — these tests double-check the
+aggregated outcome on top of that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.obs import audit_experiment
+
+#: Experiments whose specs carry a 1 s warmup need duration > warmup;
+#: the fault experiments clamp their own duration to >= 15 s simulated.
+_DURATION_S = {name: 1.5 for name in EXPERIMENTS}
+_DURATION_S["delay"] = 2.0
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_ledger_balances_on_registry_experiment(name):
+    outcome = audit_experiment(
+        name, duration_s=_DURATION_S[name], seed=1, probes=20
+    )
+    assert outcome.balanced
+    assert outcome.violations == ()
+    breakdown = outcome.drop_breakdown()
+    opened = sum(report.opened for report in outcome.reports)
+    assert sum(breakdown.values()) == opened
+    # Drop reasons never go negative and never invent SDUs.
+    assert all(count >= 0 for count in breakdown.values())
+
+
+def test_fault_crash_experiment_accounts_for_crashed_sdus():
+    """A node crash mid-flight lands in ``fault-crash`` — never leaks."""
+    outcome = audit_experiment("fault-crash", duration_s=1.5, seed=1)
+    assert outcome.balanced
+    breakdown = outcome.drop_breakdown()
+    assert breakdown["fault-crash"] > 0
+
+
+def test_fault_blackout_experiment_balances_with_link_loss():
+    outcome = audit_experiment("fault-blackout", duration_s=1.5, seed=1)
+    assert outcome.balanced
+    assert sum(outcome.drop_breakdown().values()) > 0
+
+
+def test_audit_runs_every_network_the_experiment_builds():
+    # figure2 builds one network per (transport, RTS) panel.
+    outcome = audit_experiment("figure2", duration_s=1.5, seed=1)
+    assert len(outcome.reports) == 4
+    assert outcome.balanced
+
+
+def test_render_contains_breakdown_table_and_verdict():
+    outcome = audit_experiment("figure2", duration_s=1.5, seed=1)
+    text = outcome.render()
+    assert "Audit: figure2" in text
+    assert "delivered" in text
+    assert "ledger balanced:" in text
+    assert "0 invariant violations" in text

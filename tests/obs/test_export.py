@@ -1,0 +1,75 @@
+"""Exporters: JSONL artefacts and the streaming digest agree byte-for-byte."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.obs.export import trace_digest_row
+from repro.scenario import build
+
+from tests.obs.util import run_audited, two_node_udp_spec
+
+
+def _run_with_artifacts(tmp_path, **obs):
+    spec = two_node_udp_spec(**obs)
+    return run_audited(spec)
+
+
+def test_trace_jsonl_is_written_and_parses(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    net = _run_with_artifacts(tmp_path, trace_jsonl=str(path))
+    assert net.recorder.report.artifacts["trace_jsonl"] == str(path)
+    lines = path.read_text().splitlines()
+    assert len(lines) == net.recorder.writer.records_written
+    assert len(lines) > 0
+    first = json.loads(lines[0])
+    assert {"t_ns", "category", "event"} <= set(first)
+    # The stream includes the audit channel's SDU lifecycle events.
+    events = {json.loads(line)["event"] for line in lines}
+    assert "sdu_open" in events
+    assert "sdu_deliver" in events
+
+
+def test_streaming_digest_equals_digest_of_the_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    net = _run_with_artifacts(tmp_path, trace_digest=True, trace_jsonl=str(path))
+    streamed = net.recorder.digest.hexdigest()
+    on_disk = hashlib.sha256(path.read_bytes()).hexdigest()
+    assert streamed == on_disk
+    assert net.recorder.report.trace_sha256 == streamed
+
+
+def test_digest_is_deterministic_across_runs(tmp_path):
+    digests = set()
+    for _ in range(2):
+        net = _run_with_artifacts(tmp_path, trace_digest=True)
+        digests.add(net.recorder.digest.hexdigest())
+    assert len(digests) == 1
+
+
+def test_ledger_jsonl_is_sorted_and_complete(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    net = _run_with_artifacts(tmp_path, ledger_jsonl=str(path))
+    report = net.recorder.report
+    assert report.artifacts["ledger_jsonl"] == str(path)
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(rows) == report.opened
+    keys = [(row["origin"], row["sdu"]) for row in rows]
+    assert keys == sorted(keys)
+    assert all(row["state"] in ("delivered", "dropped") for row in rows)
+
+
+def test_trace_digest_row_extractor_reads_the_recorder(tmp_path):
+    net = _run_with_artifacts(tmp_path, trace_digest=True)
+    row = trace_digest_row(net)
+    assert row["trace_sha256"] == net.recorder.digest.hexdigest()
+    assert row["records"] == net.recorder.digest.records_hashed
+
+
+def test_trace_digest_row_requires_a_digest():
+    net = build(two_node_udp_spec())  # audit on, but no digest requested
+    with pytest.raises(ValueError, match="trace_digest=True"):
+        trace_digest_row(net)

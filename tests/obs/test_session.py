@@ -1,0 +1,72 @@
+"""AuditCollector: session-scoped auditing of every network built."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import AuditCollector, active_collector
+from repro.scenario import build
+
+from tests.obs.util import two_node_udp_spec
+
+
+def plain_spec():
+    """A spec whose own observability section is off."""
+    spec = two_node_udp_spec()
+    assert spec.observability.audit  # util default
+    from repro.scenario import ObservabilitySpec, ScenarioSpec
+
+    return ScenarioSpec.from_dict(
+        {**spec.to_dict(), "observability": ObservabilitySpec().to_dict()}
+    )
+
+
+def test_no_collector_and_no_spec_means_no_recorder():
+    net = build(plain_spec())
+    assert net.recorder is None
+    assert net.tracer.audit is False
+
+
+def test_collector_audits_networks_built_inside():
+    with AuditCollector() as collector:
+        net = build(plain_spec())
+        assert net.recorder is not None
+        net.run(0.25)
+        net.sim.shutdown()
+    assert len(collector.reports) == 1
+    assert collector.reports[0].balanced
+
+
+def test_collector_sweeps_unfinalized_recorders_on_exit():
+    with AuditCollector() as collector:
+        net = build(plain_spec())
+        net.run(0.25)
+        # No shutdown: the collector must finalize on exit.
+    assert len(collector.reports) == 1
+    assert collector.reports[0].balanced
+    assert net.recorder.report is collector.reports[0]
+
+
+def test_collectors_do_not_nest():
+    with AuditCollector():
+        with pytest.raises(RuntimeError, match="nest"):
+            with AuditCollector():
+                pass  # pragma: no cover
+    assert active_collector() is None
+
+
+def test_exiting_with_an_exception_does_not_mask_it():
+    with pytest.raises(ValueError, match="boom"):
+        with AuditCollector() as collector:
+            build(plain_spec())
+            raise ValueError("boom")
+    # The original exception propagated; no audit ran on the way out.
+    assert collector.reports == []
+    assert active_collector() is None
+
+
+def test_active_collector_is_cleared_after_exit():
+    assert active_collector() is None
+    with AuditCollector() as collector:
+        assert active_collector() is collector
+    assert active_collector() is None

@@ -1,0 +1,267 @@
+"""Property-based guarantees for the scenario serialisation layer.
+
+Hypothesis generates arbitrary *valid* scenario specs and checks the
+contracts the sweep cache and the spec files depend on:
+
+* ``ScenarioSpec.from_json(spec.to_json()) == spec`` (lossless
+  round-trip),
+* canonical serialisation is a fixed point — round-tripping never
+  changes the bytes, so re-serialising can never miss the cache,
+* semantically equal specs (ints vs floats, reordered JSON keys)
+  produce the same canonical bytes and hence the same sweep-cache key.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.parallel.cache import canonical_params  # noqa: E402
+from repro.scenario import (  # noqa: E402
+    FaultSpec,
+    FlowSpec,
+    MobilitySpec,
+    ObservabilitySpec,
+    ScenarioSpec,
+    StackSpec,
+    TopologySpec,
+    TrafficSpec,
+    WeatherSpec,
+)
+from repro.scenario.points import scenario_sweep_points  # noqa: E402
+
+# ------------------------------------------------------------ strategies
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+positive = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=1e-3, max_value=1e6
+)
+sigma = st.floats(allow_nan=False, allow_infinity=False, min_value=0, max_value=20)
+
+weather = st.builds(
+    WeatherSpec,
+    name=st.sampled_from(["clear", "rain", "fog"]),
+    offset_db=st.floats(allow_nan=False, allow_infinity=False,
+                        min_value=-30, max_value=30),
+    sigma_db=sigma,
+    correlation_time_s=positive,
+)
+
+
+def topologies(max_stations: int = 5):
+    return st.builds(
+        lambda xs, fast, static, w, prop: TopologySpec(
+            positions_m=tuple((x, 0.0) for x in xs),
+            fast_sigma_db=fast,
+            static_sigma_db=static,
+            weather=w,
+            propagation=prop,
+        ),
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False,
+                      min_value=0, max_value=1000),
+            min_size=2,
+            max_size=max_stations,
+        ),
+        sigma,
+        sigma,
+        st.none() | weather,
+        st.sampled_from([None, "log-distance", "free-space", "two-ray"]),
+    )
+
+
+stacks = st.builds(
+    StackSpec,
+    data_rate_mbps=st.sampled_from([1.0, 2.0, 5.5, 11.0]),
+    rts_enabled=st.booleans(),
+    ack_policy=st.sampled_from(["always", "defer-if-busy"]),
+    radio=st.sampled_from([None, "calibrated", "ns2"]),
+    short_retry_limit=st.none() | st.integers(min_value=0, max_value=10),
+    long_retry_limit=st.none() | st.integers(min_value=0, max_value=10),
+    mac_queue_frames=st.integers(min_value=1, max_value=500),
+    arf=st.booleans(),
+)
+
+
+def flows(stations: int):
+    endpoints = st.lists(
+        st.integers(min_value=0, max_value=stations - 1),
+        min_size=2, max_size=2, unique=True,
+    )
+    return st.one_of(
+        st.builds(
+            lambda ends, port, payload, rate: FlowSpec(
+                kind="cbr", src=ends[0], dst=ends[1], port=port,
+                payload_bytes=payload, rate_bps=rate,
+            ),
+            endpoints,
+            st.integers(min_value=1, max_value=65535),
+            st.integers(min_value=1, max_value=2000),
+            st.none() | positive,
+        ),
+        st.builds(
+            lambda ends, rate, on_s, off_s: FlowSpec(
+                kind="onoff", src=ends[0], dst=ends[1],
+                rate_bps=rate, mean_on_s=on_s, mean_off_s=off_s,
+            ),
+            endpoints,
+            positive,
+            positive,
+            positive,
+        ),
+        st.builds(
+            lambda ends, total: FlowSpec(
+                kind="bulk-tcp", src=ends[0], dst=ends[1], total_bytes=total,
+            ),
+            endpoints,
+            st.none() | st.integers(min_value=1, max_value=10**7),
+        ),
+    )
+
+
+def faults(stations: int, n_flows: int):
+    restartable = (
+        st.lists(
+            st.integers(min_value=0, max_value=n_flows - 1), max_size=n_flows
+        )
+        if n_flows
+        else st.just([])
+    )
+    crash = st.builds(
+        lambda start, dur, node, restarts: FaultSpec(
+            kind="node-crash", start_s=start, duration_s=dur, node=node,
+            restart_flows=tuple(sorted(set(restarts))),
+        ),
+        positive,
+        st.none() | positive,
+        st.integers(min_value=0, max_value=stations - 1),
+        restartable,
+    )
+    blackout = st.builds(
+        lambda start, dur, ends, bidir: FaultSpec(
+            kind="link-blackout", start_s=start, duration_s=dur,
+            node_a=ends[0], node_b=ends[1], bidirectional=bidir,
+        ),
+        positive,
+        st.none() | positive,
+        st.lists(
+            st.integers(min_value=0, max_value=stations - 1),
+            min_size=2, max_size=2, unique=True,
+        ),
+        st.booleans(),
+    )
+    jitter = st.builds(
+        lambda start, dur, node, s: FaultSpec(
+            kind="clock-jitter", start_s=start, duration_s=dur, node=node,
+            sigma_ns=s,
+        ),
+        positive,
+        st.none() | positive,
+        st.integers(min_value=0, max_value=stations - 1),
+        positive,
+    )
+    return st.one_of(crash, blackout, jitter)
+
+
+observability = st.builds(
+    ObservabilitySpec,
+    audit=st.booleans(),
+    trace_digest=st.booleans(),
+    trace_jsonl=st.none() | st.just("trace.jsonl"),
+    ledger_jsonl=st.none() | st.just("ledger.jsonl"),
+)
+
+
+@st.composite
+def scenario_specs(draw):
+    topology = draw(topologies())
+    stations = len(topology.positions_m)
+    flow_list = tuple(draw(st.lists(flows(stations), max_size=3)))
+    fault_list = tuple(
+        draw(st.lists(faults(stations, len(flow_list)), max_size=2))
+    )
+    duration = draw(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=0.1, max_value=600))
+    warmup = draw(
+        st.just(0.0)
+        | st.floats(allow_nan=False, allow_infinity=False,
+                    min_value=0, max_value=duration)
+    )
+    return ScenarioSpec(
+        name=draw(st.sampled_from(["scenario", "prop", "figure-x"])),
+        topology=topology,
+        stack=draw(stacks),
+        traffic=TrafficSpec(flows=flow_list),
+        faults=fault_list,
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+        duration_s=duration,
+        warmup_s=min(warmup, duration),
+        observability=draw(observability),
+    )
+
+
+# ------------------------------------------------------------ properties
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_specs())
+def test_json_round_trip_is_lossless(spec):
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_specs())
+def test_canonical_serialisation_is_a_fixed_point(spec):
+    canonical = spec.canonical_json()
+    restored = ScenarioSpec.from_json(canonical)
+    assert restored.canonical_json() == canonical
+    # And serialising the same spec twice is trivially stable.
+    assert spec.canonical_json() == canonical
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_specs())
+def test_key_order_never_changes_the_spec(spec):
+    # A hand-edited spec file with reordered keys is the same scenario.
+    doc = json.loads(spec.to_json())
+    reordered = dict(reversed(list(doc.items())))
+    restored = ScenarioSpec.from_dict(reordered)
+    assert restored == spec
+    assert restored.canonical_json() == spec.canonical_json()
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_specs())
+def test_equal_specs_share_a_sweep_cache_key(spec):
+    # The cache keys on canonical_params of the point's parameters; a
+    # round-tripped spec must hit the same entry.
+    restored = ScenarioSpec.from_json(spec.to_json())
+    [point_a] = scenario_sweep_points([spec], extract="m:f")
+    [point_b] = scenario_sweep_points([restored], extract="m:f")
+    assert canonical_params(point_a.params) == canonical_params(point_b.params)
+
+
+def test_int_valued_fields_normalise_to_the_float_form():
+    # Regression for the cache-key split: int and float spellings of the
+    # same scenario must serialise identically.
+    a = ScenarioSpec(
+        topology=TopologySpec.line(0, 10, fast_sigma_db=0),
+        seed=1, duration_s=2, warmup_s=1,
+    )
+    b = ScenarioSpec(
+        topology=TopologySpec.line(0.0, 10.0, fast_sigma_db=0.0),
+        seed=1, duration_s=2.0, warmup_s=1.0,
+    )
+    assert a == b
+    assert a.canonical_json() == b.canonical_json()
+    [pa] = scenario_sweep_points([a], extract="m:f")
+    [pb] = scenario_sweep_points([b], extract="m:f")
+    assert canonical_params(pa.params) == canonical_params(pb.params)
