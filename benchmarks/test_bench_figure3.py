@@ -1,23 +1,35 @@
 """Bench ``figure3``: packet loss vs distance for the four rates."""
 
-from benchmarks.util import run_once, save_artifact, save_audit
+from benchmarks.util import (
+    OUTPUT_DIR,
+    run_once,
+    save_artifact,
+    save_audit,
+    save_journal,
+)
 from repro.experiments.ranges import (
     estimate_tx_range,
     format_loss_curves,
     run_figure3,
 )
+from repro.experiments.runner import RunnerConfig
 
 PROBES = 120
 
 
 def test_bench_figure3(benchmark):
-    curves = run_once(benchmark, run_figure3, probes=PROBES)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    journal_path = OUTPUT_DIR / "figure3.journal.jsonl"
+    journal_path.unlink(missing_ok=True)  # fresh journal per bench run
+    policy = RunnerConfig(max_retries=0, journal_path=str(journal_path))
+    curves = run_once(benchmark, run_figure3, probes=PROBES, policy=policy)
     save_artifact(
         "figure3",
         format_loss_curves(curves, "Figure 3 - loss vs distance"),
         benchmark=benchmark,
     )
     save_audit("figure3", "figure3", probes=30, seed=1, benchmark=benchmark)
+    save_journal("figure3", journal_path, benchmark=benchmark)
 
     by_rate = {curve.rate.mbps: curve for curve in curves}
     # The range ladder: faster rates cross 50% loss closer in.

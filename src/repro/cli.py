@@ -37,6 +37,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.errors import SweepInterrupted
 from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.runner import ExperimentResult, RunnerConfig, run_suite
 from repro.parallel import SweepCache
@@ -140,13 +141,53 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="SECONDS",
-        help="wall-clock budget per experiment attempt (default: none)",
+        help=(
+            "wall-clock budget per experiment attempt and per sweep "
+            "point (hung pool workers are killed; default: none)"
+        ),
     )
     parser.add_argument(
         "--retries",
+        "--max-retries",
+        dest="retries",
         type=int,
         default=1,
-        help="reseeded retries after a simulation-kernel failure (default 1)",
+        metavar="N",
+        help=(
+            "reseeded retries after a simulation-kernel failure, "
+            "timeout or worker crash, with jittered exponential "
+            "backoff between attempts (default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append per-sweep-point outcomes (ok/failed/timeout/"
+            "crashed) to a JSONL journal at PATH; enables --resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted sweep from --journal + cache: "
+            "points already completed are not re-executed and the "
+            "merged output is bit-identical to an uninterrupted run"
+        ),
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=("raise", "skip", "degrade"),
+        default="raise",
+        dest="on_error",
+        help=(
+            "sweep failure policy once retries are exhausted: raise "
+            "aborts (default), skip/degrade complete the sweep with "
+            "None/typed failure records at the failed points and "
+            "print a sweep report"
+        ),
     )
     parser.add_argument(
         "--report",
@@ -199,7 +240,7 @@ def _parse_overrides(pairs: Sequence[str]) -> dict:
     return overrides
 
 
-def _run_spec(args: argparse.Namespace, cache) -> int:
+def _run_spec(args: argparse.Namespace, cache, config: RunnerConfig) -> int:
     """Run one declarative scenario from a JSON spec file."""
     import json
 
@@ -219,7 +260,11 @@ def _run_spec(args: argparse.Namespace, cache) -> int:
             extract=args.extract,
             jobs=max(1, args.jobs),
             cache=cache,
+            policy=config,
         )
+    except SweepInterrupted as error:
+        print(f"interrupted: {error}", file=sys.stderr)
+        return 130
     except Exception as error:  # noqa: BLE001 - one-line CLI surface
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -285,6 +330,13 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         return lint_run(arguments[1:])
     args = _build_parser().parse_args(arguments)
+    if args.resume and not args.journal:
+        print(
+            "error: --resume needs --journal PATH (the journal of the "
+            "interrupted run)",
+            file=sys.stderr,
+        )
+        return 2
     cache = None
     if not args.no_cache:
         cache = SweepCache(root=args.cache_dir)
@@ -302,10 +354,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _profile(args)
     if args.experiment == "audit":
         return _audit(args)
+    config = RunnerConfig(
+        timeout_s=args.timeout,
+        max_retries=max(0, args.retries),
+        on_error=args.on_error,
+        journal_path=args.journal,
+        resume=args.resume,
+    )
     if args.experiment == "spec":
-        return _run_spec(args, cache)
+        return _run_spec(args, cache, config)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    config = RunnerConfig(timeout_s=args.timeout, max_retries=max(0, args.retries))
     try:
         overrides = _parse_overrides(args.overrides)
         report = run_suite(
@@ -326,6 +384,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                 handle.write(report.to_json() + "\n")
     except BrokenPipeError:  # pragma: no cover - output piped to head
         return 0
+    except SweepInterrupted as error:
+        # Graceful Ctrl-C/SIGTERM: journal + cache are flushed; tell
+        # the user how to pick the sweep back up.
+        print(f"interrupted: {error}", file=sys.stderr)
+        if args.journal:
+            print(
+                f"resume with: --journal {args.journal} --resume",
+                file=sys.stderr,
+            )
+        return 130
     except Exception as error:  # pragma: no cover - last-resort CLI surface
         print(f"error: {error}", file=sys.stderr)
         return 1

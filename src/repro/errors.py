@@ -65,3 +65,16 @@ class TransportError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment could not be built or produced no usable output."""
+
+
+class SweepInterrupted(ReproError):
+    """A supervised sweep was stopped by SIGINT/SIGTERM before finishing.
+
+    Raised by :mod:`repro.parallel.supervisor` after a graceful shutdown:
+    the journal and result cache have been flushed, so the message names
+    a resumable state (``--resume`` re-executes only the unfinished
+    points).  Deliberately *not* a :class:`SimulationError` — an
+    interrupt must never trigger the retry-with-perturbed-seed policy or
+    degrade into a failure record; it propagates to the CLI, which exits
+    with code 130.
+    """

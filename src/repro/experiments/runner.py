@@ -26,8 +26,14 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.errors import ExperimentError, SimulationError, WatchdogTimeout
+from repro.errors import (
+    ExperimentError,
+    SimulationError,
+    SweepInterrupted,
+    WatchdogTimeout,
+)
 from repro.experiments.registry import EXPERIMENTS, Experiment
+from repro.parallel.engine import backoff_delay_s
 
 #: Default seed offset between retry attempts.  A large odd constant so
 #: perturbed seeds never collide with a user's natural seed sweep.
@@ -36,7 +42,13 @@ DEFAULT_RETRY_SEED_STEP = 100_003
 
 @dataclass(frozen=True)
 class RunnerConfig:
-    """Robustness policy for one suite run."""
+    """Robustness policy for one suite run.
+
+    The same object travels from the CLI through ``run_experiment``
+    into every sweep an experiment makes (``policy=`` on
+    :func:`repro.parallel.run_sweep`), so retry/timeout/backoff,
+    failure policy and journaling are configured exactly once.
+    """
 
     #: Wall-clock budget per attempt; ``None`` disables the timeout.
     timeout_s: float | None = None
@@ -44,6 +56,23 @@ class RunnerConfig:
     max_retries: int = 1
     #: Seed offset added per retry attempt.
     retry_seed_step: int = DEFAULT_RETRY_SEED_STEP
+    #: Base delay of the deterministic jittered exponential backoff
+    #: slept before each retry attempt (0 retries immediately).
+    backoff_base_s: float = 0.1
+    #: Ceiling on one backoff delay.
+    backoff_max_s: float = 2.0
+    #: Sweep failure policy: ``"raise"`` aborts on the first point that
+    #: exhausts its retries, ``"skip"`` substitutes ``None`` for failed
+    #: points, ``"degrade"`` substitutes typed
+    #: :class:`~repro.parallel.supervisor.PointFailure` records; the
+    #: latter two complete the sweep and print a report.
+    on_error: str = "raise"
+    #: Path of the persistent per-point sweep journal (JSONL); ``None``
+    #: disables journaling.
+    journal_path: str | None = None
+    #: Resume from ``journal_path`` + cache: points already recorded
+    #: ``ok`` under the current code version are not re-executed.
+    resume: bool = False
 
 
 @dataclass
@@ -113,6 +142,8 @@ class SuiteReport:
                 "failed": len(self.failed),
                 "timeout_s": self.config.timeout_s,
                 "max_retries": self.config.max_retries,
+                "on_error": self.config.on_error,
+                "journal": self.config.journal_path,
                 "results": [result.to_dict() for result in self.results],
             },
             indent=2,
@@ -215,6 +246,18 @@ def run_experiment(
         return result
 
     for attempt in range(config.max_retries + 1):
+        if attempt:
+            # Deterministic jittered exponential backoff: derived from
+            # the attempt index and experiment name, never a live RNG,
+            # so a re-run reproduces the same retry schedule.
+            delay = backoff_delay_s(
+                attempt,
+                config.backoff_base_s,
+                config.backoff_max_s,
+                token=name,
+            )
+            if delay > 0.0:
+                time.sleep(delay)
         attempt_seed = seed + attempt * config.retry_seed_step
         result.attempts = attempt + 1
         result.seeds.append(attempt_seed)
@@ -234,6 +277,11 @@ def run_experiment(
             result.error = None
             result.error_type = None
             break
+        except SweepInterrupted:
+            # A graceful SIGINT/SIGTERM shutdown is not a failure to
+            # degrade or retry — it propagates so the CLI can exit with
+            # the resumable state (journal + cache already flushed).
+            raise
         except SimulationError as error:
             # Kernel-level failure (watchdog, scheduling, MAC invariant):
             # eligible for a reseeded retry.

@@ -97,6 +97,21 @@ def canonical_params(params: Mapping[str, Any]) -> str:
     return json.dumps(params, sort_keys=True, separators=(",", ":"))
 
 
+def point_key(fn: str, params: Mapping[str, Any], version_tag: str) -> str:
+    """Content address of one sweep point.
+
+    Shared by the cache and the sweep journal, so a journal entry and a
+    cache entry for the same point always carry the same key — resume
+    can match them up without re-deriving anything.
+    """
+    body = json.dumps(
+        {"fn": fn, "params": params, "version": version_tag},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
 class SweepCache:
     """Content-addressed store of sweep-point results.
 
@@ -120,12 +135,7 @@ class SweepCache:
 
     def key(self, fn: str, params: Mapping[str, Any]) -> str:
         """Content address of one point."""
-        body = json.dumps(
-            {"fn": fn, "params": params, "version": self.version_tag},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(body.encode()).hexdigest()
+        return point_key(fn, params, self.version_tag)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"

@@ -1,0 +1,216 @@
+"""Persistent sweep journal: one JSONL record per point outcome.
+
+The journal is the crash-safe companion of the
+:class:`~repro.parallel.cache.SweepCache`: while the cache stores
+*values*, the journal stores *outcomes* — ``ok`` / ``failed`` /
+``timeout`` / ``crashed`` with attempt counts, durations and error
+details — appended line by line as the supervised executor finishes
+each point.  Every line is flushed as it is written, so an interrupted
+or killed sweep leaves a valid prefix on disk; :func:`load_journal`
+tolerates a torn final line.
+
+Record types (the ``type`` field of each JSON line):
+
+``sweep-start``
+    Header for one :func:`~repro.parallel.engine.run_sweep` call:
+    total point count, how many still need to run, the code-version
+    tag and the retry policy in force.
+``point``
+    One per-point outcome (see :class:`PointRecord`).  Successful
+    records carry the point's value, so ``--resume`` can rebuild the
+    merged result list even without the cache.
+``sweep-end``
+    Trailer with the final ok/failed tally.
+``interrupted``
+    Written during graceful SIGINT/SIGTERM shutdown, right before
+    :class:`~repro.errors.SweepInterrupted` propagates.
+
+A journal file may accumulate records from several sweeps (an ``all``
+batch appends every experiment's sweeps to one file); points are keyed
+by :func:`~repro.parallel.cache.point_key`, and on load the *latest*
+record per key wins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Mapping
+
+#: Every status a point record may carry.
+POINT_STATUSES: tuple[str, ...] = ("ok", "failed", "timeout", "crashed")
+
+
+@dataclass
+class PointRecord:
+    """One per-point outcome line.
+
+    ``key`` is the point's content address (identical to its cache
+    key); ``version`` is the code-version tag the point ran under, so
+    resume never trusts results produced by different simulation
+    semantics.  ``cached`` marks outcomes served from the result cache
+    (``attempts == 0``) rather than executed.
+    """
+
+    key: str
+    fn: str
+    index: int
+    status: str
+    attempts: int
+    duration_s: float
+    version: str
+    value: Any = None
+    error: str | None = None
+    error_type: str | None = None
+    cached: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (``value`` only on success)."""
+        document: dict[str, Any] = {
+            "type": "point",
+            "key": self.key,
+            "fn": self.fn,
+            "index": self.index,
+            "status": self.status,
+            "attempts": self.attempts,
+            "duration_s": round(self.duration_s, 4),
+            "version": self.version,
+        }
+        if self.status == "ok":
+            document["value"] = self.value
+        if self.error is not None:
+            document["error"] = self.error
+        if self.error_type is not None:
+            document["error_type"] = self.error_type
+        if self.cached:
+            document["cached"] = True
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "PointRecord":
+        """Parse one journal line back into a record."""
+        return cls(
+            key=str(document["key"]),
+            fn=str(document.get("fn", "")),
+            index=int(document.get("index", -1)),
+            status=str(document["status"]),
+            attempts=int(document.get("attempts", 0)),
+            duration_s=float(document.get("duration_s", 0.0)),
+            version=str(document.get("version", "")),
+            value=document.get("value"),
+            error=document.get("error"),
+            error_type=document.get("error_type"),
+            cached=bool(document.get("cached", False)),
+        )
+
+
+class SweepJournal:
+    """Append-only JSONL writer for per-point sweep outcomes.
+
+    Opened lazily on the first write and flushed after every line, so
+    the on-disk journal is always a valid prefix of the sweep — the
+    property the chaos tests assert after ``kill -INT``.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+
+    def _write(self, document: Mapping[str, Any]) -> None:
+        try:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(
+                json.dumps(document, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self._handle.flush()
+        except OSError:  # pragma: no cover - disk full / read-only journal
+            pass
+
+    def start_sweep(
+        self,
+        total: int,
+        to_run: int,
+        version_tag: str,
+        policy: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Header for one ``run_sweep`` call."""
+        document: dict[str, Any] = {
+            "type": "sweep-start",
+            "total": total,
+            "to_run": to_run,
+            "version": version_tag,
+        }
+        if policy:
+            document["policy"] = dict(policy)
+        self._write(document)
+
+    def record(self, record: PointRecord) -> None:
+        """Append one point outcome (flushed immediately)."""
+        self._write(record.to_dict())
+
+    def finish(self, ok: int, failed: int) -> None:
+        """Trailer after a sweep ran to completion."""
+        self._write({"type": "sweep-end", "ok": ok, "failed": failed})
+
+    def interrupted(self, completed: int, total: int) -> None:
+        """Mark a graceful shutdown; fsync so the state survives exit."""
+        self._write(
+            {"type": "interrupted", "completed": completed, "total": total}
+        )
+        if self._handle is not None:
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:  # pragma: no cover - non-fsyncable target
+                pass
+
+    def close(self) -> None:
+        """Close the underlying file (re-opened on the next write)."""
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def load_journal(path: str | Path) -> dict[str, PointRecord]:
+    """Latest point record per key from a journal file.
+
+    A missing file is an empty journal.  Corrupt lines — including the
+    torn final line a hard kill can leave — are skipped: the journal is
+    for recovery, so it must never take a resume down.
+    """
+    journal_path = Path(path)
+    records: dict[str, PointRecord] = {}
+    try:
+        text = journal_path.read_text(encoding="utf-8")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            document = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(document, dict) or document.get("type") != "point":
+            continue
+        try:
+            record = PointRecord.from_dict(document)
+        except (KeyError, TypeError, ValueError):
+            continue
+        if record.status not in POINT_STATUSES:
+            continue
+        records[record.key] = record
+    return records

@@ -110,6 +110,43 @@ class TestRetries:
         )
         assert result.attempts == 1
 
+    def test_backoff_slept_between_retries_deterministically(
+        self, monkeypatch
+    ):
+        import repro.experiments.runner as runner_module
+        from repro.parallel import backoff_delay_s
+
+        slept = []
+        monkeypatch.setattr(
+            runner_module.time, "sleep", lambda s: slept.append(s)
+        )
+        run_experiment(
+            "x",
+            config=RunnerConfig(
+                max_retries=2, backoff_base_s=0.1, backoff_max_s=2.0
+            ),
+            experiments=make_registry(x=kernel_crash_run),
+        )
+        expected = [
+            backoff_delay_s(attempt, 0.1, 2.0, token="x")
+            for attempt in (1, 2)
+        ]
+        assert slept == expected  # jitter is derived, not random
+
+    def test_backoff_disabled_with_zero_base(self, monkeypatch):
+        import repro.experiments.runner as runner_module
+
+        slept = []
+        monkeypatch.setattr(
+            runner_module.time, "sleep", lambda s: slept.append(s)
+        )
+        run_experiment(
+            "x",
+            config=RunnerConfig(max_retries=2, backoff_base_s=0.0),
+            experiments=make_registry(x=kernel_crash_run),
+        )
+        assert slept == []
+
 
 class TestTimeout:
     def test_hung_experiment_reported_as_timeout(self):

@@ -26,3 +26,59 @@ def slow_point(seed: int) -> int:
 
     time.sleep(5.0)
     return seed
+
+
+def crash_point(seed: int) -> int:
+    """Hard-crash the worker (no Python cleanup) below the threshold.
+
+    A reseeded retry (step >= the threshold) lands in the passing
+    region — mirrors an OOM-kill / segfault that a fresh seed avoids.
+    """
+    if seed < FLAKY_THRESHOLD:
+        import os
+
+        os._exit(17)
+    return seed
+
+
+def always_crash_point(seed: int) -> int:
+    """Hard-crash the worker on every attempt."""
+    import os
+
+    os._exit(23)
+
+
+def hang_point(seed: int) -> int:
+    """Hang far past any test deadline below the threshold."""
+    if seed < FLAKY_THRESHOLD:
+        import time
+
+        time.sleep(60.0)
+    return seed
+
+
+def sleepy_square_point(value: int, delay_s: float = 0.0) -> int:
+    """``square_point`` with a wall-clock cost, for interrupt tests."""
+    import time
+
+    if delay_s > 0.0:
+        time.sleep(delay_s)
+    return value * value
+
+
+def fail_once_point(value: int, marker_dir: str) -> int:
+    """Hard-crash the first time each ``value`` is seen, succeed after.
+
+    A marker file under ``marker_dir`` records the first visit, so a
+    resumed (or retried) run completes deterministically — the chaos
+    tests use this to compare interrupted-then-resumed output with an
+    uninterrupted run bit-for-bit.
+    """
+    import os
+
+    marker = os.path.join(marker_dir, f"seen-{value}")
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write("seen\n")
+        os._exit(9)
+    return value * value

@@ -4,7 +4,13 @@ import pytest
 
 from repro.errors import ExperimentError, SimulationError, WatchdogTimeout
 from repro.experiments.runner import RunnerConfig
-from repro.parallel import SweepPoint, execute_point, pmap, run_sweep
+from repro.parallel import (
+    SweepPoint,
+    backoff_delay_s,
+    execute_point,
+    pmap,
+    run_sweep,
+)
 from repro.parallel.engine import resolve_point_fn
 
 SQUARE = "tests.parallel.point_functions:square_point"
@@ -138,3 +144,47 @@ class TestPmap:
     def test_jobs_validated(self):
         with pytest.raises(ExperimentError):
             pmap(len, [], jobs=-1)
+
+    def test_worker_error_keeps_repro_type(self):
+        from tests.parallel.point_functions import flaky_point
+
+        with pytest.raises(SimulationError, match="livelocked"):
+            pmap(flaky_point, [1, 200], jobs=2)
+
+    def test_foreign_worker_error_carries_worker_traceback(self):
+        from tests.parallel.point_functions import always_fails_point
+
+        with pytest.raises(ExperimentError, match="deterministic bug") as info:
+            pmap(always_fails_point, [1, 2], jobs=2)
+        assert "worker traceback" in str(info.value)
+        assert "always_fails_point" in str(info.value)
+
+    def test_serial_errors_stay_unwrapped(self):
+        from tests.parallel.point_functions import always_fails_point
+
+        with pytest.raises(ValueError, match="deterministic bug"):
+            pmap(always_fails_point, [1])
+
+
+class TestBackoff:
+    def test_deterministic_for_same_inputs(self):
+        first = backoff_delay_s(3, 0.1, 2.0, token="figure3")
+        second = backoff_delay_s(3, 0.1, 2.0, token="figure3")
+        assert first == second
+
+    def test_jitter_within_half_to_full_raw_delay(self):
+        for attempt in range(1, 8):
+            raw = min(0.1 * 2.0 ** (attempt - 1), 2.0)
+            delay = backoff_delay_s(attempt, 0.1, 2.0, token="t")
+            assert 0.5 * raw <= delay <= raw
+
+    def test_capped_at_max(self):
+        assert backoff_delay_s(30, 0.1, 2.0, token="t") <= 2.0
+
+    def test_different_tokens_desynchronise(self):
+        delays = {backoff_delay_s(1, 0.1, 2.0, token=t) for t in "abcd"}
+        assert len(delays) == 4
+
+    def test_disabled_when_base_nonpositive(self):
+        assert backoff_delay_s(3, 0.0, 2.0) == 0.0
+        assert backoff_delay_s(0, 0.1, 2.0) == 0.0

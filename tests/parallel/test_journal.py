@@ -1,0 +1,126 @@
+"""The sweep journal: JSONL round-trips, crash tolerance, key parity."""
+
+import json
+
+from repro.parallel import SweepCache, load_journal, point_key
+from repro.parallel.journal import PointRecord, SweepJournal
+
+SQUARE = "tests.parallel.point_functions:square_point"
+
+
+def make_record(**overrides):
+    fields = dict(
+        key="k1",
+        fn=SQUARE,
+        index=0,
+        status="ok",
+        attempts=1,
+        duration_s=0.5,
+        version="v1",
+        value=9,
+    )
+    fields.update(overrides)
+    return PointRecord(**fields)
+
+
+class TestPointRecord:
+    def test_round_trip(self):
+        record = make_record()
+        again = PointRecord.from_dict(record.to_dict())
+        assert again == record
+
+    def test_value_omitted_on_failure(self):
+        record = make_record(
+            status="crashed", value=None, error="boom", error_type="OSError"
+        )
+        document = record.to_dict()
+        assert "value" not in document
+        assert document["error"] == "boom"
+        assert document["error_type"] == "OSError"
+
+    def test_cached_flag_survives(self):
+        record = make_record(cached=True, attempts=0)
+        assert PointRecord.from_dict(record.to_dict()).cached is True
+
+
+class TestJournalFile:
+    def test_written_records_load_back(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as journal:
+            journal.start_sweep(total=2, to_run=2, version_tag="v1")
+            journal.record(make_record(key="a", index=0, value=1))
+            journal.record(
+                make_record(
+                    key="b",
+                    index=1,
+                    status="failed",
+                    value=None,
+                    error="bad",
+                    error_type="SimulationError",
+                )
+            )
+            journal.finish(ok=1, failed=1)
+        records = load_journal(path)
+        assert set(records) == {"a", "b"}
+        assert records["a"].value == 1
+        assert records["b"].status == "failed"
+        # Every line on disk is valid JSON (flushed line-by-line).
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_journal(tmp_path / "nope.jsonl") == {}
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record(make_record(key="a"))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "point", "key": "b", "sta')  # hard kill
+        records = load_journal(path)
+        assert set(records) == {"a"}
+
+    def test_garbage_and_foreign_lines_skipped(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text(
+            "not json at all\n"
+            '{"type": "sweep-start", "total": 1}\n'
+            '{"type": "point", "key": "a", "status": "warped"}\n'
+            + json.dumps(make_record(key="ok").to_dict())
+            + "\n"
+        )
+        assert set(load_journal(path)) == {"ok"}
+
+    def test_latest_record_per_key_wins(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record(
+                make_record(
+                    key="a",
+                    status="crashed",
+                    value=None,
+                    error="died",
+                    error_type="OSError",
+                )
+            )
+            journal.record(make_record(key="a", status="ok", attempts=2))
+        record = load_journal(path)["a"]
+        assert record.status == "ok"
+        assert record.attempts == 2
+
+
+class TestKeyParity:
+    def test_journal_keys_are_cache_keys(self, tmp_path):
+        # The supervisor journals under point_key so resume and cache
+        # triage agree on identity, whatever order they are consulted.
+        cache = SweepCache(root=tmp_path / "cache")
+        params = {"value": 3}
+        assert cache.key(SQUARE, params) == point_key(
+            SQUARE, params, cache.version_tag
+        )
+
+    def test_key_depends_on_version_tag(self):
+        params = {"value": 3}
+        assert point_key(SQUARE, params, "v1") != point_key(
+            SQUARE, params, "v2"
+        )

@@ -113,6 +113,40 @@ class TestSweepFlags:
         assert cache_dir in out
 
 
+class TestRobustnessFlags:
+    def test_resume_without_journal_exits_2(self, capsys):
+        assert main(["table2", "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "--resume needs --journal" in err
+
+    def test_journal_written_with_point_records(self, capsys, tmp_path):
+        import json
+
+        journal = tmp_path / "sweep.jsonl"
+        assert main(["table2", "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        documents = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        assert any(doc.get("type") == "sweep-start" for doc in documents)
+        points = [doc for doc in documents if doc.get("type") == "point"]
+        assert points and all(doc["status"] == "ok" for doc in points)
+        assert any(doc.get("type") == "sweep-end" for doc in documents)
+
+    def test_resumed_run_output_identical(self, capsys, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        cache_dir = str(tmp_path / "cache")
+        argv = ["table2", "--cache-dir", cache_dir, "--journal", str(journal)]
+        assert main(argv) == 0
+        first = _table_lines(capsys.readouterr().out)
+        assert main(argv + ["--resume"]) == 0
+        resumed = _table_lines(capsys.readouterr().out)
+        assert first == resumed
+
+    def test_max_retries_alias_accepted(self, capsys):
+        assert main(["table2", "--max-retries", "0"]) == 0
+
+
 class TestProfileCommand:
     def test_profile_without_target_exits_2(self, capsys):
         assert main(["profile"]) == 2
