@@ -1,6 +1,6 @@
 """Bench ``figure7``: four stations at 11 Mbps, asymmetric placement."""
 
-from benchmarks.util import run_once, save_artifact, save_audit
+from benchmarks.util import run_once, save_artifact, save_audit, save_profile
 from repro.experiments import paper
 from repro.experiments.four_nodes import format_four_node, run_figure7
 
@@ -14,6 +14,7 @@ def test_bench_figure7(benchmark):
         format_four_node(results, "Figure 7 - 11 Mbps asymmetric (25/80/25 m)"),
     )
     save_audit("figure7", "figure7", duration_s=1.5, seed=1)
+    save_profile("figure7", "figure7", duration_s=1.5, seed=1)
 
     by_key = {(r.transport, r.rts_cts): r for r in results}
     # Headline: session 2 clearly beats session 1 under UDP, both with

@@ -69,6 +69,31 @@ def save_journal(name: str, journal_path, benchmark=None) -> Path:
     return path
 
 
+def save_profile(name: str, experiment: str, benchmark=None, **kwargs) -> Path:
+    """Profile ``experiment`` outside the timed region and link the artefacts.
+
+    Runs a short cProfile pass of the same registry experiment (pass
+    ``duration_s``/``probes``/``seed`` to keep it cheap) and writes both
+    the rendered top-N report (``<name>.profile.txt``) and the raw
+    ``<name>.pstats`` dump next to the bench artefact.  Paths land in
+    ``extra_info`` so a ``--benchmark-json`` report ties every timing to
+    the profile that explains *where* the time went.  Like
+    :func:`save_audit`, the profiled run is separate from the timed one.
+    """
+    from repro.profiling import profile_experiment
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    pstats_path = OUTPUT_DIR / f"{name}.pstats"
+    report = profile_experiment(experiment, output=str(pstats_path), **kwargs)
+    report_path = OUTPUT_DIR / f"{name}.profile.txt"
+    report_path.write_text(report)
+    target = benchmark if benchmark is not None else _active_benchmark
+    if target is not None:
+        target.extra_info["profile_artifact"] = str(report_path)
+        target.extra_info["profile_pstats"] = str(pstats_path)
+    return report_path
+
+
 def save_audit(name: str, experiment: str, benchmark=None, **kwargs) -> Path:
     """Audit ``experiment`` outside the timed region and link the artefact.
 

@@ -23,7 +23,8 @@ from repro.units import NS_PER_S
 class Signal:
     """One frame in flight on the medium."""
 
-    __slots__ = ("signal_id", "source", "frame", "tx_power_dbm", "start_ns", "end_ns")
+    __slots__ = ("signal_id", "source", "frame", "tx_power_dbm", "start_ns",
+                 "end_ns", "duration_ns")
     #: Fallback id stream for directly constructed signals (tests,
     #: tools).  The medium passes ``signal_id`` explicitly from its own
     #: per-instance counter, so two live mediums in one process — e.g.
@@ -50,11 +51,9 @@ class Signal:
         self.tx_power_dbm = tx_power_dbm
         self.start_ns = start_ns
         self.end_ns = end_ns
-
-    @property
-    def duration_ns(self) -> int:
-        """Airtime of the signal."""
-        return self.end_ns - self.start_ns
+        #: Airtime of the signal, cached at construction — overlap and
+        #: interference bookkeeping read it once per concurrent signal.
+        self.duration_ns = end_ns - start_ns
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -200,7 +199,9 @@ class Medium:
         hooks = self._loss_hooks
         pair_cache = self._pair_cache
         floor_dbm = self._delivery_floor_dbm
-        schedule = self._sim.schedule
+        # Arrival events are fire-and-forget (the medium never cancels
+        # them), so the slot API skips the per-event handle allocation.
+        schedule = self._sim.schedule_slot
         source_pos = source.position_m
         for device_index, device in enumerate(self._devices):
             if device is source:

@@ -9,6 +9,7 @@ Regenerates the paper's tables and figures from the terminal::
     repro80211 figure3 --no-cache               # force re-simulation
     repro80211 list --clear-cache               # drop every cached sweep point
     repro80211 profile figure3 --probes 100     # cProfile top-N report
+    repro80211 profile figure7 --sort tottime --output figure7.pstats
     repro80211 audit figure7 --duration 2       # packet ledger + invariant audit
     repro80211 all --duration 5 --probes 100 --timeout 120 --report run.json
     repro80211 lint --format json               # simulator static analysis
@@ -195,6 +196,21 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write a machine-readable JSON report to PATH",
     )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE.pstats",
+        help=(
+            "(profile) also dump the raw cProfile stats to FILE.pstats "
+            "for archiving or snakeviz"
+        ),
+    )
+    parser.add_argument(
+        "--sort",
+        choices=("both", "cumulative", "tottime"),
+        default="both",
+        help="(profile) report ordering (default: both sections)",
+    )
     return parser
 
 
@@ -310,6 +326,8 @@ def _profile(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 duration_s=args.duration,
                 probes=args.probes,
+                sort=args.sort,
+                output=args.output,
             )
         )
     except BrokenPipeError:  # pragma: no cover - output piped to head

@@ -42,6 +42,11 @@ class AirtimeCalculator:
 
     def __init__(self, config: Dot11bConfig | None = None):
         self._config = config if config is not None else Dot11bConfig()
+        #: Interning table for :mod:`repro.phy.plans`: one frozen
+        #: TransmissionPlan per distinct frame shape built against this
+        #: calculator.  Keys are ``(msdu_bytes, rate)`` for data frames
+        #: and ``(name, body_bits, rate)`` for control frames.
+        self.plan_cache: dict[tuple, "object"] = {}
 
     @property
     def config(self) -> Dot11bConfig:

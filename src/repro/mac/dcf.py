@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 import random
-from collections import deque
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -218,6 +218,11 @@ class MacStation(PhyListener):
         self._mac = config.dot11.mac
         self._rng = rng if rng is not None else random.Random(config.address)
         self._tracer = tracer if tracer is not None else Tracer()
+        # Self-counting trace channel (see Tracer.register_counters):
+        # count locally, fan out only when a subscriber is attached.
+        self._category = f"mac.{config.address}"
+        self._trace_counts: dict[str, int] = defaultdict(int)
+        self._tracer.register_counters(self._category, self._trace_counts)
         phy.set_listener(self)
 
         # Precomputed timing, in ns.
@@ -761,7 +766,7 @@ class MacStation(PhyListener):
             if self._tracer.audit:
                 self._tracer.emit_audit(
                     self._sim.now_ns,
-                    f"mac.{self.address}",
+                    self._category,
                     "nav",
                     until_ns=self._nav.until_ns,
                 )
@@ -844,7 +849,9 @@ class MacStation(PhyListener):
     # --------------------------------------------------------- utilities
 
     def _trace(self, event: str, **fields: Any) -> None:
-        self._tracer.emit(self._sim.now_ns, f"mac.{self.address}", event, **fields)
+        self._trace_counts[event] += 1
+        if self._tracer.active:
+            self._tracer.fanout(self._sim.now_ns, self._category, event, fields)
 
     def _audit_sdu(self, event: str, msdu: Any, dst: int, **fields: Any) -> None:
         """Audit-channel SDU lifecycle event (callers gate on tracer.audit)."""
@@ -853,7 +860,7 @@ class MacStation(PhyListener):
             return
         self._tracer.emit_audit(
             self._sim.now_ns,
-            f"mac.{self.address}",
+            self._category,
             event,
             sdu=sdu,
             origin=msdu.src,

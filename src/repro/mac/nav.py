@@ -42,7 +42,14 @@ class Nav:
         if until_ns <= self._until_ns or until_ns <= self._sim.now_ns:
             return False
         self._until_ns = until_ns
-        self._timer.start(until_ns - self._sim.now_ns)
+        # Coalesced wakeup: if a timer is already armed (necessarily for
+        # an earlier instant — the NAV only moves forward), leave it in
+        # place and let the stale fire re-arm to the current target in
+        # :meth:`_expired`.  Saturated neighbourhoods extend the NAV on
+        # nearly every overheard frame; this turns that cancel+reschedule
+        # churn into a single pending event per busy period.
+        if not self._timer.running:
+            self._timer.start(until_ns - self._sim.now_ns)
         return True
 
     def reset(self) -> None:
@@ -54,4 +61,11 @@ class Nav:
             self._on_expire()
 
     def _expired(self) -> None:
+        until_ns = self._until_ns
+        now_ns = self._sim.now_ns
+        if until_ns > now_ns:
+            # The reservation was extended while this wakeup was armed;
+            # re-arm for the real expiry instead of firing early.
+            self._timer.start(until_ns - now_ns)
+            return
         self._on_expire()

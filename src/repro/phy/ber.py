@@ -56,6 +56,30 @@ _BER_BY_RATE = {
     Rate.MBPS_11: ber_cck11,
 }
 
+#: Per-rate lookup tables for the fast BER path: the exponential-family
+#: coefficient of each modulation and the (float) bit rate.  Together
+#: they replace per-call function dispatch and ``Rate`` enum property
+#: reads with two dict reads; the arithmetic stays the exact expression
+#: of the reference functions above (``1.0 * gamma == gamma``, and
+#: ``float(bps)`` is value-identical to the int), so results are
+#: bit-identical.
+_COEFF_BY_RATE: dict[Rate, float] = {
+    Rate.MBPS_1: 1.0,
+    Rate.MBPS_2: 0.59,
+    Rate.MBPS_5_5: 0.30,
+    Rate.MBPS_11: 0.15,
+}
+_BPS_BY_RATE: dict[Rate, float] = {rate: float(rate.bps) for rate in _BER_BY_RATE}
+
+#: Memo for :func:`frame_success_probability_cached`.  Saturated
+#: scenarios evaluate the same few (rate, SINR, bits) triples tens of
+#: thousands of times — identical geometry produces identical float
+#: SINRs, so exact-key memoisation hits constantly.  Bounded: cleared
+#: wholesale past ``_MEMO_LIMIT`` entries (mobility sweeps can produce
+#: unbounded distinct SINRs).
+_success_memo: dict[tuple[Rate, float, int], float] = {}
+_MEMO_LIMIT = 65536
+
 
 def ber(rate: Rate, sinr_linear: float) -> float:
     """Bit error rate at a channel SINR for a rate's modulation."""
@@ -70,3 +94,32 @@ def frame_success_probability(rate: Rate, sinr_linear: float, bits: int) -> floa
     if bits == 0:
         return 1.0
     return (1.0 - ber(rate, sinr_linear)) ** bits
+
+
+def frame_success_probability_cached(
+    rate: Rate, sinr_linear: float, bits: int
+) -> float:
+    """Memoised, table-driven :func:`frame_success_probability`.
+
+    Bit-identical to the reference: the same minimum/exponential/power
+    expression, fed from the per-rate lookup tables instead of function
+    dispatch, with results cached by exact ``(rate, sinr, bits)`` key.
+    """
+    key = (rate, sinr_linear, bits)
+    cached = _success_memo.get(key)
+    if cached is not None:
+        return cached
+    if bits < 0:
+        raise ConfigurationError(f"bits must be >= 0, got {bits}")
+    if sinr_linear < 0:
+        raise ConfigurationError(f"SINR must be >= 0, got {sinr_linear}")
+    if bits == 0:
+        probability = 1.0
+    else:
+        gamma = sinr_linear * CHANNEL_BANDWIDTH_HZ / _BPS_BY_RATE[rate]
+        error = 0.5 * math.exp(-min(_COEFF_BY_RATE[rate] * gamma, 700.0))
+        probability = (1.0 - error) ** bits
+    if len(_success_memo) >= _MEMO_LIMIT:
+        _success_memo.clear()
+    _success_memo[key] = probability
+    return probability

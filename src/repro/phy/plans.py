@@ -10,6 +10,7 @@ and to evaluate reception field by field.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.airtime import AirtimeCalculator
 from repro.core.params import Rate
@@ -29,7 +30,15 @@ class Segment:
 
 @dataclass(frozen=True)
 class TransmissionPlan:
-    """The full field schedule of one frame on the air."""
+    """The full field schedule of one frame on the air.
+
+    Plans are immutable and — when built through :func:`data_frame_plan`
+    / :func:`control_frame_plan` — interned per calculator, so the
+    derived quantities below are ``cached_property``: each is computed
+    once per distinct plan, not once per transmitted frame.
+    (``cached_property`` writes through ``__dict__`` directly, which is
+    why it composes with ``frozen=True``.)
+    """
 
     segments: tuple[Segment, ...]
 
@@ -37,12 +46,12 @@ class TransmissionPlan:
         if not self.segments:
             raise ConfigurationError("a transmission plan needs >= 1 segment")
 
-    @property
+    @cached_property
     def duration_ns(self) -> int:
         """Total airtime."""
         return sum(segment.duration_ns for segment in self.segments)
 
-    @property
+    @cached_property
     def preamble_end_ns(self) -> int:
         """Offset at which the PLCP (first segment) ends."""
         return self.segments[0].duration_ns
@@ -52,14 +61,18 @@ class TransmissionPlan:
         """Rate of the last (payload) segment."""
         return self.segments[-1].rate
 
-    def segment_offsets_ns(self) -> list[tuple[int, int, Segment]]:
-        """(start, end, segment) offsets relative to frame start."""
+    @cached_property
+    def _segment_offsets(self) -> tuple[tuple[int, int, Segment], ...]:
         offsets = []
         position = 0
         for segment in self.segments:
             offsets.append((position, position + segment.duration_ns, segment))
             position += segment.duration_ns
-        return offsets
+        return tuple(offsets)
+
+    def segment_offsets_ns(self) -> tuple[tuple[int, int, Segment], ...]:
+        """(start, end, segment) offsets relative to frame start."""
+        return self._segment_offsets
 
 
 def _plcp_segment(airtime: AirtimeCalculator) -> Segment:
@@ -76,7 +89,29 @@ def _plcp_segment(airtime: AirtimeCalculator) -> Segment:
 def data_frame_plan(
     msdu_bytes: int, data_rate: Rate, airtime: AirtimeCalculator
 ) -> TransmissionPlan:
-    """Plan for a MAC data frame carrying an ``msdu_bytes`` payload."""
+    """Plan for a MAC data frame carrying an ``msdu_bytes`` payload.
+
+    Interned: one plan object per ``(payload size, rate)`` per
+    calculator.  A saturated station transmits the same few frame shapes
+    tens of thousands of times; rebuilding the plan each time made the
+    per-frame ``Rate`` enum arithmetic one of the hottest lines in the
+    whole profile.  Plans are frozen, so sharing is safe, and the
+    identity-stable objects double as cache keys for the reception
+    kernel's per-plan tables.
+    """
+    cache = airtime.plan_cache
+    key = (msdu_bytes, data_rate)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    plan = _build_data_frame_plan(msdu_bytes, data_rate, airtime)
+    cache[key] = plan
+    return plan
+
+
+def _build_data_frame_plan(
+    msdu_bytes: int, data_rate: Rate, airtime: AirtimeCalculator
+) -> TransmissionPlan:
     breakdown = airtime.data_frame(msdu_bytes, data_rate)
     header_rate = airtime.config.header_rate_policy.header_rate(data_rate)
     return TransmissionPlan(
@@ -101,11 +136,27 @@ def data_frame_plan(
 def control_frame_plan(
     name: str, body_bits: int, airtime: AirtimeCalculator, rate: Rate | None = None
 ) -> TransmissionPlan:
-    """Plan for a control frame (RTS/CTS/ACK) at the control rate."""
+    """Plan for a control frame (RTS/CTS/ACK) at the control rate.
+
+    Interned per calculator like :func:`data_frame_plan`.
+    """
     if rate is None:
         rate = airtime.config.control_rate
     if body_bits <= 0:
         raise ConfigurationError(f"control body must be > 0 bits, got {body_bits}")
+    cache = airtime.plan_cache
+    key = (name, body_bits, rate)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    plan = _build_control_frame_plan(name, body_bits, airtime, rate)
+    cache[key] = plan
+    return plan
+
+
+def _build_control_frame_plan(
+    name: str, body_bits: int, airtime: AirtimeCalculator, rate: Rate
+) -> TransmissionPlan:
     return TransmissionPlan(
         segments=(
             _plcp_segment(airtime),

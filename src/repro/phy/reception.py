@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 
 from repro.phy import ber as ber_models
+from repro.phy.kernel import SinrKernel, resolve_kernel
 from repro.phy.plans import TransmissionPlan
 from repro.phy.radio import RadioParameters
 from repro.errors import ConfigurationError
@@ -92,13 +93,43 @@ class ReceptionModel(abc.ABC):
 
 
 class SinrThresholdReception(ReceptionModel):
-    """Per-field sensitivity + worst-case SINR thresholds."""
+    """Per-field sensitivity + worst-case SINR thresholds.
+
+    Two implementations produce the verdict:
+
+    * ``kernel="python"`` — the reference loop below, one SINR/dB
+      comparison per (field x interference interval);
+    * ``kernel="numpy"`` — the batched kernel
+      (:class:`repro.phy.kernel.SinrKernel`): per-plan threshold tables
+      and a worst-interval reduction (vectorized for long timelines)
+      that makes one dB conversion per field.  Bit-identical by
+      monotonicity — the golden digests pin it.
+
+    ``kernel=None`` resolves from the ``REPRO_KERNEL`` environment
+    variable (default ``auto``: numpy when importable).
+    """
+
+    def __init__(self, kernel: str | None = None):
+        self._kernel_name = resolve_kernel(kernel)
+        self._kernel = SinrKernel() if self._kernel_name == "numpy" else None
+
+    @property
+    def kernel(self) -> str:
+        """Which implementation this model runs (``python``/``numpy``)."""
+        return self._kernel_name
 
     def evaluate(
         self,
         context: ReceptionContext,
         radio: RadioParameters,
         rng: random.Random,
+    ) -> ReceptionOutcome:
+        if self._kernel is not None:
+            return self._kernel.evaluate(context, radio)
+        return self._evaluate_reference(context, radio)
+
+    def _evaluate_reference(
+        self, context: ReceptionContext, radio: RadioParameters
     ) -> ReceptionOutcome:
         signal_mw = dbm_to_mw(context.rx_power_dbm)
         for start_ns, end_ns, segment in context.plan.segment_offsets_ns():
@@ -115,7 +146,17 @@ class SinrThresholdReception(ReceptionModel):
 
 
 class BerReception(ReceptionModel):
-    """Bit-error integration over fields and interference intervals."""
+    """Bit-error integration over fields and interference intervals.
+
+    The ``numpy`` kernel setting swaps the per-term transcendental math
+    for the per-rate lookup tables + exact-key memo in
+    :mod:`repro.phy.ber` (:func:`~repro.phy.ber.frame_success_probability_cached`);
+    term order and arithmetic are unchanged, so the accumulated product
+    — and therefore the single Bernoulli draw — is bit-identical.
+    """
+
+    def __init__(self, kernel: str | None = None):
+        self._cached = resolve_kernel(kernel) == "numpy"
 
     def evaluate(
         self,
@@ -123,6 +164,11 @@ class BerReception(ReceptionModel):
         radio: RadioParameters,
         rng: random.Random,
     ) -> ReceptionOutcome:
+        success_of = (
+            ber_models.frame_success_probability_cached
+            if self._cached
+            else ber_models.frame_success_probability
+        )
         signal_mw = dbm_to_mw(context.rx_power_dbm)
         success_probability = 1.0
         for start_ns, end_ns, segment in context.plan.segment_offsets_ns():
@@ -134,9 +180,7 @@ class BerReception(ReceptionModel):
             ):
                 sinr = signal_mw / (context.noise_mw + interference_mw)
                 bits = segment.bits * (hi - lo) / duration
-                probability = ber_models.frame_success_probability(
-                    segment.rate, sinr, round(bits)
-                )
+                probability = success_of(segment.rate, sinr, round(bits))
                 success_probability *= probability
         if rng.random() < success_probability:
             return ReceptionOutcome.OK

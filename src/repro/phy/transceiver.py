@@ -15,6 +15,7 @@ beyond the transmission range.
 from __future__ import annotations
 
 import random
+from collections import defaultdict
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any
@@ -92,6 +93,12 @@ class Transceiver:
         self._reception = reception if reception is not None else SinrThresholdReception()
         self._rng = rng if rng is not None else random.Random(0)
         self._tracer = tracer if tracer is not None else Tracer()
+        # Self-counting trace channel: the category string is built once,
+        # counts land in a registered local dict, and the tracer is only
+        # called (fan-out) when a subscriber is attached.
+        self._category = f"phy.{name}"
+        self._counts: dict[str, int] = defaultdict(int)
+        self._tracer.register_counters(self._category, self._counts)
         self._listener = PhyListener()
         self._state = PhyState.IDLE
         self._signals: dict[int, float] = {}  # signal_id -> rx power, mW
@@ -104,7 +111,10 @@ class Transceiver:
         self._noise_rise_db = 0.0
         self._noise_mw = dbm_to_mw(radio.noise_floor_dbm)
         self._cs_threshold_mw = dbm_to_mw(radio.cs_threshold_dbm)
-        self._tx_handle = None
+        # Pending own-transmission-complete event, in slot form (seq 0 =
+        # no transmission in flight).
+        self._tx_slot = -1
+        self._tx_seq = 0
         medium.attach(self)
 
     # ------------------------------------------------------------- wiring
@@ -171,9 +181,9 @@ class Transceiver:
         if not self._powered:
             return
         self._powered = False
-        if self._tx_handle is not None:
-            self._tx_handle.cancel()
-            self._tx_handle = None
+        if self._tx_seq != 0:
+            self._sim.cancel_slot(self._tx_slot, self._tx_seq)
+            self._tx_seq = 0
         self._locked_signal = None
         self._interference_log = []
         self._signals.clear()
@@ -208,13 +218,22 @@ class Transceiver:
         signal = self._medium.transmit(
             self, PhyFrame(mac_frame, plan), plan.duration_ns, self._radio.tx_power_dbm
         )
-        self._trace("tx_start", frame=type(mac_frame).__name__, dur_ns=signal.duration_ns)
-        self._tx_handle = self._sim.schedule(plan.duration_ns, self._finish_tx)
+        self._counts["tx_start"] += 1
+        if self._tracer.active:
+            self._tracer.fanout(
+                self._sim.now_ns,
+                self._category,
+                "tx_start",
+                {"frame": type(mac_frame).__name__, "dur_ns": signal.duration_ns},
+            )
+        self._tx_slot, self._tx_seq = self._sim.schedule_slot(
+            plan.duration_ns, self._finish_tx
+        )
         self._update_cs()
         return plan.duration_ns
 
     def _finish_tx(self) -> None:
-        self._tx_handle = None
+        self._tx_seq = 0
         self._state = PhyState.IDLE
         self._trace("tx_end")
         self._update_cs()
@@ -223,40 +242,53 @@ class Transceiver:
     # ------------------------------------------------------------ medium
 
     def on_signal_start(self, signal: Signal, rx_power_dbm: float) -> None:
-        """Medium callback: a signal's energy reaches us."""
+        """Medium callback: a signal's energy reaches us.
+
+        The audible-power sum is computed once here and threaded through
+        the state updates — it was the single hottest expression in
+        saturated profiles when each of lock/interference/carrier-sense
+        re-derived it.  Reusing one value is bit-identical: the signal
+        dict does not change between those reads.
+        """
         if not self._powered:
             return
         self._signals[signal.signal_id] = dbm_to_mw(rx_power_dbm)
+        total_mw = sum(self._signals.values())
         if self._state is PhyState.RX:
-            self._note_interference_change()
-            self._maybe_capture(signal, rx_power_dbm)
+            self._note_interference_change(total_mw)
+            self._maybe_capture(signal, rx_power_dbm, total_mw)
         elif self._state is PhyState.IDLE:
-            self._maybe_lock(signal, rx_power_dbm)
-        self._update_cs()
+            self._maybe_lock(signal, rx_power_dbm, total_mw)
+        self._update_cs(total_mw)
 
     def on_signal_end(self, signal: Signal) -> None:
         """Medium callback: a signal fades out at our position."""
         if not self._powered:
             return
         self._signals.pop(signal.signal_id, None)
+        total_mw = sum(self._signals.values())
         if self._locked_signal is signal:
             self._finish_reception(signal)
         elif self._state is PhyState.RX:
-            self._note_interference_change()
-        self._update_cs()
+            self._note_interference_change(total_mw)
+        self._update_cs(total_mw)
 
     # --------------------------------------------------------- internals
 
-    def _other_power_mw(self) -> float:
-        total = self.total_power_mw
+    def _other_power_mw(self, total_mw: float | None = None) -> float:
+        total = self.total_power_mw if total_mw is None else total_mw
         if self._locked_signal is not None:
             total -= self._signals.get(self._locked_signal.signal_id, 0.0)
         return max(total, 0.0)
 
-    def _maybe_lock(self, signal: Signal, rx_power_dbm: float) -> None:
+    def _maybe_lock(
+        self, signal: Signal, rx_power_dbm: float, total_mw: float | None = None
+    ) -> None:
         if rx_power_dbm < self._radio.preamble_lock_dbm:
             return
-        interference_mw = self.total_power_mw - self._signals[signal.signal_id]
+        if total_mw is None:
+            total_mw = self.total_power_mw
+        interference_mw = total_mw - self._signals[signal.signal_id]
         sinr = dbm_to_mw(rx_power_dbm) / (self._noise_mw + interference_mw)
         plcp_rate = signal.frame.plan.segments[0].rate
         if linear_to_db(sinr) < self._radio.sinr_threshold_db[plcp_rate]:
@@ -266,10 +298,19 @@ class Transceiver:
         self._locked_power_dbm = rx_power_dbm
         self._locked_start_ns = self._sim.now_ns
         self._interference_log = [(0, interference_mw)]
-        self._trace("rx_lock", signal=signal.signal_id, rx_dbm=round(rx_power_dbm, 1))
+        self._counts["rx_lock"] += 1
+        if self._tracer.active:
+            self._tracer.fanout(
+                self._sim.now_ns,
+                self._category,
+                "rx_lock",
+                {"signal": signal.signal_id, "rx_dbm": round(rx_power_dbm, 1)},
+            )
         self._listener.on_rx_start()
 
-    def _maybe_capture(self, signal: Signal, rx_power_dbm: float) -> None:
+    def _maybe_capture(
+        self, signal: Signal, rx_power_dbm: float, total_mw: float | None = None
+    ) -> None:
         if not self._radio.capture_enabled or self._locked_signal is None:
             return
         in_preamble = (
@@ -287,11 +328,11 @@ class Transceiver:
             # The previously locked frame degrades into interference.
             self._locked_signal = None
             self._state = PhyState.IDLE
-            self._maybe_lock(signal, rx_power_dbm)
+            self._maybe_lock(signal, rx_power_dbm, total_mw)
 
-    def _note_interference_change(self) -> None:
+    def _note_interference_change(self, total_mw: float | None = None) -> None:
         offset = self._sim.now_ns - self._locked_start_ns
-        self._interference_log.append((offset, self._other_power_mw()))
+        self._interference_log.append((offset, self._other_power_mw(total_mw)))
 
     def _finish_reception(self, signal: Signal) -> None:
         phy_frame: PhyFrame = signal.frame
@@ -322,10 +363,12 @@ class Transceiver:
                 self._audit_rx_fail(signal.frame, ReceptionOutcome.ABORTED.value)
             self._listener.on_rx_end(None, ReceptionOutcome.ABORTED)
 
-    def _update_cs(self) -> None:
+    def _update_cs(self, total_mw: float | None = None) -> None:
+        if total_mw is None:
+            total_mw = sum(self._signals.values())
         busy = (
             self._state is PhyState.TX
-            or self.total_power_mw >= self._cs_threshold_mw
+            or total_mw >= self._cs_threshold_mw
         )
         if busy == self._cs_busy:
             return
@@ -336,7 +379,9 @@ class Transceiver:
             self._listener.on_cs_idle()
 
     def _trace(self, event: str, **fields: Any) -> None:
-        self._tracer.emit(self._sim.now_ns, f"phy.{self.name}", event, **fields)
+        self._counts[event] += 1
+        if self._tracer.active:
+            self._tracer.fanout(self._sim.now_ns, self._category, event, fields)
 
     def _audit_rx_fail(self, phy_frame: PhyFrame, outcome_value: str) -> None:
         """Audit-channel record of a failed reception of a tracked SDU.
@@ -351,7 +396,7 @@ class Transceiver:
             return
         self._tracer.emit_audit(
             self._sim.now_ns,
-            f"phy.{self.name}",
+            self._category,
             "sdu_rx_fail",
             sdu=sdu,
             origin=msdu.src,

@@ -5,6 +5,10 @@ Wraps one experiment run in :mod:`cProfile` and renders a top-N report
 baseline instead of a hand-rolled one-off script.  The profiled run is
 always serial and uncached — a pool would move the work out of the
 profiled process, and a cache hit would profile JSON decoding.
+
+``output`` dumps the raw stats to a ``.pstats`` file (loadable with
+:mod:`pstats` or snakeviz) so profiles can be archived next to bench
+artefacts; ``sort`` narrows the rendered report to one ordering.
 """
 
 from __future__ import annotations
@@ -13,7 +17,12 @@ import cProfile
 import io
 import pstats
 
+from repro.errors import ConfigurationError
 from repro.experiments.registry import get_experiment
+
+#: Accepted ``sort`` values: pstats sort keys, or ``both`` for the
+#: two-section report.
+PROFILE_SORTS = ("both", "cumulative", "tottime")
 
 
 def profile_experiment(
@@ -22,8 +31,18 @@ def profile_experiment(
     duration_s: float = 10.0,
     probes: int = 200,
     top: int = 25,
+    sort: str = "both",
+    output: str | None = None,
 ) -> str:
-    """Run one registered experiment under cProfile; return the report."""
+    """Run one registered experiment under cProfile; return the report.
+
+    ``sort`` is one of :data:`PROFILE_SORTS`; ``output`` additionally
+    dumps the raw profile to that path (conventionally ``*.pstats``).
+    """
+    if sort not in PROFILE_SORTS:
+        raise ConfigurationError(
+            f"unknown profile sort {sort!r}; accepted: {list(PROFILE_SORTS)}"
+        )
     experiment = get_experiment(name)
     profiler = cProfile.Profile()
     profiler.enable()
@@ -34,12 +53,18 @@ def profile_experiment(
         )
     finally:
         profiler.disable()
+    if output is not None:
+        profiler.dump_stats(output)
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.strip_dirs()
     buffer.write(f"profile: {name} (seed={seed})\n")
-    buffer.write(f"\n=== top {top} by cumulative time ===\n")
-    stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(top)
-    buffer.write(f"\n=== top {top} by self time ===\n")
-    stats.sort_stats(pstats.SortKey.TIME).print_stats(top)
+    if output is not None:
+        buffer.write(f"raw stats: {output}\n")
+    if sort in ("both", "cumulative"):
+        buffer.write(f"\n=== top {top} by cumulative time ===\n")
+        stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(top)
+    if sort in ("both", "tottime"):
+        buffer.write(f"\n=== top {top} by self time ===\n")
+        stats.sort_stats(pstats.SortKey.TIME).print_stats(top)
     return buffer.getvalue()

@@ -33,7 +33,7 @@ from repro.mac.dcf import AckPolicy
 from repro.mac.ratecontrol import ArfConfig
 from repro.net.node import Node, NodeStackConfig
 from repro.phy.radio import RadioParameters
-from repro.phy.reception import ReceptionModel
+from repro.phy.reception import ReceptionModel, SinrThresholdReception
 from repro.scenario.network import FlowHandle, ScenarioNetwork
 from repro.scenario.specs import (
     DEFAULT_FAST_SIGMA_DB,
@@ -224,6 +224,11 @@ def build(spec: ScenarioSpec) -> ScenarioNetwork:
         dot11=_stack_dot11(spec),
         mac_queue_frames=spec.stack.mac_queue_frames,
         arf=ArfConfig() if spec.stack.arf else None,
+        reception=(
+            SinrThresholdReception(kernel=spec.stack.kernel)
+            if spec.stack.kernel is not None
+            else None
+        ),
     )
     net.spec = spec
     # The recorder must attach before flows are wired: a CBR source with

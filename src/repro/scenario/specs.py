@@ -38,6 +38,7 @@ from repro.channel.weather import DayConditions
 from repro.core.params import Rate
 from repro.errors import ConfigurationError, FaultError
 from repro.mac.dcf import AckPolicy
+from repro.phy.kernel import KERNELS
 
 #: Serialisation format version; bump on incompatible spec changes.
 SPEC_VERSION = 1
@@ -313,6 +314,9 @@ class StackSpec:
     long_retry_limit: int | None = None
     mac_queue_frames: int = 200
     arf: bool = False
+    #: Reception kernel: ``"python"`` | ``"numpy"``, or ``None`` to defer
+    #: to the ``REPRO_KERNEL`` environment variable (default ``auto``).
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         _freeze_types(self, ("data_rate_mbps",), ("rts_enabled", "arf"))
@@ -335,6 +339,11 @@ class StackSpec:
             raise ConfigurationError(
                 f"mac_queue_frames must be >= 1, got {self.mac_queue_frames}"
             )
+        if self.kernel is not None and self.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"unknown reception kernel {self.kernel!r}; "
+                f"accepted: {list(KERNELS)} (or null to follow REPRO_KERNEL)"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -346,6 +355,7 @@ class StackSpec:
             "long_retry_limit": self.long_retry_limit,
             "mac_queue_frames": self.mac_queue_frames,
             "arf": self.arf,
+            "kernel": self.kernel,
         }
 
     @classmethod
@@ -370,6 +380,7 @@ class StackSpec:
                 data.get("mac_queue_frames", 200), "mac_queue_frames"
             ),
             arf=bool(data.get("arf", False)),
+            kernel=data.get("kernel"),
         )
 
 

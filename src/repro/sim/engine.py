@@ -3,6 +3,16 @@
 Time is an integer number of nanoseconds.  Events scheduled for the same
 instant fire in scheduling order (a monotonically increasing sequence
 number breaks heap ties), which makes simulations bit-for-bit reproducible.
+
+Event storage is array-backed: each scheduled event occupies a *slot* in
+parallel lists (callback, args, token), slots are recycled through a
+free-list, and the heap holds plain ``(time_ns, seq, slot)`` integer
+triples.  Cancellation is an O(1) tombstone — the slot's token is
+invalidated and the heap entry is skipped when popped; no heap surgery,
+no per-event object allocation on the hot path.  The :class:`EventHandle`
+returned by the public ``schedule*`` family is a thin view over a slot;
+components with a tight schedule/cancel loop (timers, the medium) use
+the slot API directly and never allocate a handle at all.
 """
 
 from __future__ import annotations
@@ -15,58 +25,49 @@ from typing import Any, Callable
 from repro.errors import SchedulingError, SimulationError, WatchdogTimeout
 from repro.units import ns_to_s, s_to_ns
 
+#: Event-count accumulator across every :class:`Simulator` in the process.
+#: Purely observational (perf harnesses read it to compute events/sec);
+#: nothing simulation-visible ever depends on it.
+_events_fired_total = 0
+
+
+def events_fired_total() -> int:
+    """Total events fired by all simulators in this process (telemetry)."""
+    return _events_fired_total
+
 
 class EventHandle:
     """A scheduled event that can be cancelled before it fires.
 
-    Cancellation is lazy: the heap entry stays in place and is skipped when
-    popped, which keeps both operations O(log n) / O(1).
+    A thin view over the simulator's slot storage: cancellation is lazy
+    (the heap entry stays in place and is skipped when popped), keeping
+    both operations O(log n) / O(1).  A handle held across its event's
+    firing stays safe — the slot token it captured can never be
+    reissued, so a stale :meth:`cancel` is a no-op even after the slot
+    has been recycled for a different event.
     """
 
-    __slots__ = ("time_ns", "_callback", "_args", "_cancelled", "_sim")
+    __slots__ = ("time_ns", "_sim", "_slot", "_seq")
 
     time_ns: int
-    _callback: Callable[..., None] | None
-    _args: tuple[Any, ...]
-    _cancelled: bool
-    _sim: "Simulator | None"
+    _sim: "Simulator"
+    _slot: int
+    _seq: int
 
-    def __init__(
-        self,
-        time_ns: int,
-        callback: Callable[..., None],
-        args: tuple[Any, ...],
-        sim: "Simulator | None" = None,
-    ):
+    def __init__(self, sim: "Simulator", slot: int, seq: int, time_ns: int) -> None:
         self.time_ns = time_ns
-        self._callback = callback
-        self._args = args
-        self._cancelled = False
         self._sim = sim
+        self._slot = slot
+        self._seq = seq
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        if not self._cancelled:
-            self._cancelled = True
-            if self._sim is not None:
-                self._sim._live_events -= 1
-        self._callback = None
-        self._args = ()
+        self._sim.cancel_slot(self._slot, self._seq)
 
     @property
     def cancelled(self) -> bool:
-        """True if :meth:`cancel` was called before the event fired."""
-        return self._cancelled
-
-    def _fire(self) -> None:
-        if not self._cancelled and self._callback is not None:
-            callback, args = self._callback, self._args
-            # Release references before invoking so an exception in the
-            # callback cannot keep the closure alive via this handle.
-            self._callback = None
-            self._args = ()
-            self._cancelled = True
-            callback(*args)
+        """True once the event can no longer fire (cancelled or fired)."""
+        return not self._sim.slot_active(self._slot, self._seq)
 
 
 @dataclass(frozen=True)
@@ -104,7 +105,13 @@ class Simulator:
     """
 
     def __init__(self, watchdog: Watchdog | None = None) -> None:
-        self._heap: list[tuple[int, int, EventHandle]] = []
+        self._heap: list[tuple[int, int, int]] = []
+        # Slot storage: _slot_token[i] is the seq of the event occupying
+        # slot i (0 = free); _slot_callback/_slot_args hold its payload.
+        self._slot_token: list[int] = []
+        self._slot_callback: list[Callable[..., None] | None] = []
+        self._slot_args: list[tuple[Any, ...]] = []
+        self._free_slots: list[int] = []
         self._now_ns = 0
         self._sequence = 0
         self._running = False
@@ -140,10 +147,18 @@ class Simulator:
         """
         return self._live_events
 
-    def schedule_at(
+    # ------------------------------------------------------- slot API
+
+    def schedule_slot_at(
         self, time_ns: int, callback: Callable[..., None], *args: Any
-    ) -> EventHandle:
-        """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
+    ) -> tuple[int, int]:
+        """Schedule ``callback(*args)`` at ``time_ns``; return ``(slot, seq)``.
+
+        The low-churn path: no :class:`EventHandle` is allocated.  Keep
+        the returned pair to :meth:`cancel_slot` later, or discard it
+        for fire-and-forget events.  ``seq`` values are never reused, so
+        a stale pair can never cancel a different event.
+        """
         if self._closed:
             raise SchedulingError("cannot schedule on a shut-down simulator")
         if time_ns < self._now_ns:
@@ -151,11 +166,85 @@ class Simulator:
                 f"cannot schedule at {time_ns} ns: clock is already at "
                 f"{self._now_ns} ns"
             )
-        handle = EventHandle(time_ns, callback, args, self)
-        self._sequence += 1
+        seq = self._sequence + 1
+        self._sequence = seq
+        free = self._free_slots
+        if free:
+            slot = free.pop()
+            self._slot_token[slot] = seq
+            self._slot_callback[slot] = callback
+            self._slot_args[slot] = args
+        else:
+            slot = len(self._slot_token)
+            self._slot_token.append(seq)
+            self._slot_callback.append(callback)
+            self._slot_args.append(args)
         self._live_events += 1
-        heapq.heappush(self._heap, (time_ns, self._sequence, handle))
-        return handle
+        heapq.heappush(self._heap, (time_ns, seq, slot))
+        return slot, seq
+
+    def schedule_slot(
+        self, delay_ns: int, callback: Callable[..., None], *args: Any
+    ) -> tuple[int, int]:
+        """Slot-API twin of :meth:`schedule`: relative delay, no handle.
+
+        Implemented in full (not via :meth:`schedule_slot_at`) — this is
+        the single hottest scheduling entry point (timers, the medium),
+        and the extra frame was measurable.
+        """
+        if delay_ns < 0:
+            raise SchedulingError(f"delay must be >= 0 ns, got {delay_ns}")
+        if self._closed:
+            raise SchedulingError("cannot schedule on a shut-down simulator")
+        seq = self._sequence + 1
+        self._sequence = seq
+        free = self._free_slots
+        if free:
+            slot = free.pop()
+            self._slot_token[slot] = seq
+            self._slot_callback[slot] = callback
+            self._slot_args[slot] = args
+        else:
+            slot = len(self._slot_token)
+            self._slot_token.append(seq)
+            self._slot_callback.append(callback)
+            self._slot_args.append(args)
+        self._live_events += 1
+        heapq.heappush(self._heap, (self._now_ns + delay_ns, seq, slot))
+        return slot, seq
+
+    def cancel_slot(self, slot: int, seq: int) -> bool:
+        """Tombstone the event in ``slot`` if ``seq`` still owns it.
+
+        O(1): the slot is released to the free-list immediately and the
+        stale heap entry is skipped when popped.  Returns False (a
+        no-op) when the event already fired or was already cancelled.
+        """
+        if slot < 0 or slot >= len(self._slot_token):
+            return False
+        if self._slot_token[slot] != seq:
+            return False
+        self._slot_token[slot] = 0
+        self._slot_callback[slot] = None
+        self._slot_args[slot] = ()
+        self._free_slots.append(slot)
+        self._live_events -= 1
+        return True
+
+    def slot_active(self, slot: int, seq: int) -> bool:
+        """True while the event scheduled as ``(slot, seq)`` can still fire."""
+        return (
+            0 <= slot < len(self._slot_token) and self._slot_token[slot] == seq
+        )
+
+    # ----------------------------------------------------- handle API
+
+    def schedule_at(
+        self, time_ns: int, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
+        slot, seq = self.schedule_slot_at(time_ns, callback, *args)
+        return EventHandle(self, slot, seq, time_ns)
 
     def schedule(
         self, delay_ns: int, callback: Callable[..., None], *args: Any
@@ -184,6 +273,7 @@ class Simulator:
         ``max_events`` events, or when :meth:`stop` is called from inside
         an event.
         """
+        global _events_fired_total
         if until_ns is not None and until_s is not None:
             raise SchedulingError("pass only one of until_ns / until_s")
         if until_s is not None:
@@ -202,11 +292,15 @@ class Simulator:
         self._running = True
         fired = 0
         # Hot loop: bind everything invariant to locals — the heap, the
-        # pop, the horizon — so each event pays attribute lookups only
-        # for state that genuinely changes under it (``_stopped`` can be
-        # flipped by any callback).
+        # pop, the slot arrays — so each event pays attribute lookups
+        # only for state that genuinely changes under it (``_stopped``
+        # can be flipped by any callback).
         heap = self._heap
         heappop = heapq.heappop
+        tokens = self._slot_token
+        callbacks = self._slot_callback
+        arglists = self._slot_args
+        free = self._free_slots
         try:
             while heap and not self._stopped:
                 entry = heap[0]
@@ -214,12 +308,21 @@ class Simulator:
                 if until_ns is not None and time_ns > until_ns:
                     break
                 heappop(heap)
-                handle = entry[2]
-                if handle._cancelled:
-                    continue
+                slot = entry[2]
+                if tokens[slot] != entry[1]:
+                    continue  # tombstone of a cancelled event
+                callback = callbacks[slot]
+                args = arglists[slot]
+                # Release the slot before invoking so an exception in
+                # the callback cannot keep the closure alive, and so the
+                # callback itself may recycle the slot.
+                tokens[slot] = 0
+                callbacks[slot] = None
+                arglists[slot] = ()
+                free.append(slot)
                 self._now_ns = time_ns
                 self._live_events -= 1
-                handle._fire()
+                callback(*args)  # type: ignore[misc]
                 self._events_processed += 1
                 fired += 1
                 if max_events is not None and fired >= max_events:
@@ -228,6 +331,7 @@ class Simulator:
                     self._check_watchdog(watchdog, fired, deadline)
         finally:
             self._running = False
+            _events_fired_total += fired
         if until_ns is not None and not self._stopped and (
             max_events is None or fired < max_events
         ):
@@ -298,7 +402,11 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left untouched)."""
-        for _, _, handle in self._heap:
-            handle.cancel()
+        for _, seq, slot in self._heap:
+            if self._slot_token[slot] == seq:
+                self._slot_token[slot] = 0
+                self._slot_callback[slot] = None
+                self._slot_args[slot] = ()
+                self._free_slots.append(slot)
         self._heap.clear()
         self._live_events = 0

@@ -3,13 +3,19 @@
 MAC protocols are full of "start a timeout, cancel it if the reply
 arrives, restart it on retransmission" logic; :class:`Timer` packages that
 pattern so state machines never touch raw event handles.
+
+Timers ride the simulator's slot API (`schedule_slot` / `cancel_slot`)
+rather than :class:`~repro.sim.engine.EventHandle`, so the restart-heavy
+MAC paths (NAV, backoff, response timeouts) allocate nothing per cycle:
+a (re)start is one heap push plus two int writes, a cancel is an O(1)
+tombstone.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
 
 
 class Timer:
@@ -20,11 +26,20 @@ class Timer:
     previous schedule.
     """
 
-    def __init__(self, sim: Simulator, callback: Callable[..., None], name: str = ""):
+    __slots__ = ("_sim", "_callback", "_name", "_slot", "_seq",
+                 "_expiry_ns", "_jitter")
+
+    def __init__(
+        self, sim: Simulator, callback: Callable[..., None], name: str = ""
+    ) -> None:
         self._sim = sim
         self._callback = callback
         self._name = name
-        self._handle: EventHandle | None = None
+        # (slot, seq) of the pending event; seq 0 means "not armed"
+        # (the simulator never issues sequence number 0).
+        self._slot = -1
+        self._seq = 0
+        self._expiry_ns = 0
         self._jitter: Callable[[int], int] | None = None
 
     @property
@@ -35,15 +50,14 @@ class Timer:
     @property
     def running(self) -> bool:
         """True while a timeout is pending."""
-        return self._handle is not None and not self._handle.cancelled
+        return self._seq != 0 and self._sim.slot_active(self._slot, self._seq)
 
     @property
     def expiry_ns(self) -> int | None:
         """Absolute expiry time, or ``None`` if not running."""
-        handle = self._handle
-        if handle is None or handle.cancelled:
-            return None
-        return handle.time_ns
+        if self.running:
+            return self._expiry_ns
+        return None
 
     def set_jitter(self, jitter: Callable[[int], int] | None) -> None:
         """Install (or clear) a delay-perturbation hook.
@@ -57,10 +71,13 @@ class Timer:
 
     def start(self, delay_ns: int, *args: Any) -> None:
         """(Re)arm the timer to fire after ``delay_ns`` nanoseconds."""
-        self.cancel()
+        sim = self._sim
+        if self._seq != 0:
+            sim.cancel_slot(self._slot, self._seq)
         if self._jitter is not None:
             delay_ns = max(0, self._jitter(delay_ns))
-        self._handle = self._sim.schedule(delay_ns, self._fire, *args)
+        self._slot, self._seq = sim.schedule_slot(delay_ns, self._fire, *args)
+        self._expiry_ns = sim.now_ns + delay_ns
 
     def start_s(self, delay_s: float, *args: Any) -> None:
         """(Re)arm the timer to fire after ``delay_s`` seconds."""
@@ -70,10 +87,10 @@ class Timer:
 
     def cancel(self) -> None:
         """Disarm the timer.  Safe to call when not running."""
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
+        if self._seq != 0:
+            self._sim.cancel_slot(self._slot, self._seq)
+            self._seq = 0
 
     def _fire(self, *args: Any) -> None:
-        self._handle = None
+        self._seq = 0
         self._callback(*args)

@@ -31,17 +31,37 @@ class TraceRecord:
 
 
 class Tracer:
-    """Fan-out hub for trace records with per-prefix subscriptions."""
+    """Fan-out hub for trace records with per-prefix subscriptions.
+
+    Two emission paths exist:
+
+    * :meth:`emit` — the general path: bumps the ``category.event``
+      counter here, then fans out to subscribers.
+    * self-counting components (the PHY and MAC hot paths) keep their
+      own per-event counter dict, registered via
+      :meth:`register_counters`, and call :meth:`fanout` only behind a
+      read of the public :attr:`active` flag.  With no subscribers a
+      hot-path trace then costs one local dict bump and one attribute
+      read — no f-string key, no call into the tracer.  :meth:`count` /
+      :meth:`counters` merge the registered dicts back in, so counter
+      totals (and the golden trace digests derived from them) are
+      identical whichever path a component uses.
+    """
 
     def __init__(self) -> None:
         self._subscribers: list[tuple[str, TraceSubscriber]] = []
         self._counters: dict[str, int] = {}
+        self._registered: list[tuple[str, dict[str, int]]] = []
         #: Gate for the audit event channel (:meth:`emit_audit`).  A
         #: public attribute so instrumented hook points can guard with a
         #: single attribute read (``if tracer.audit: ...``) and pay
         #: nothing — not even keyword-argument packing — when auditing
         #: is off, which it is by default.
         self.audit = False
+        #: True while at least one subscriber is attached — the cached
+        #: flag self-counting components read before calling
+        #: :meth:`fanout`.  Maintained by subscribe/unsubscribe.
+        self.active = False
 
     @property
     def enabled(self) -> bool:
@@ -51,12 +71,25 @@ class Tracer:
     def subscribe(self, callback: TraceSubscriber, prefix: str = "") -> None:
         """Receive every record whose ``category.event`` starts with ``prefix``."""
         self._subscribers.append((prefix, callback))
+        self.active = True
 
     def unsubscribe(self, callback: TraceSubscriber) -> None:
         """Detach a subscriber (all of its prefixes)."""
         self._subscribers = [
             (prefix, cb) for prefix, cb in self._subscribers if cb != callback
         ]
+        self.active = bool(self._subscribers)
+
+    def register_counters(self, category: str, counters: dict[str, int]) -> None:
+        """Adopt a component-owned ``event -> count`` dict.
+
+        The component bumps ``counters`` directly on its hot path;
+        :meth:`counters`/:meth:`count` report each entry as
+        ``category.event``, summed with anything emitted through
+        :meth:`emit` under the same key.  :meth:`reset_counters` clears
+        registered dicts in place.
+        """
+        self._registered.append((category, counters))
 
     def emit(
         self, time_ns: int, category: str, event: str, **fields: Any
@@ -66,6 +99,23 @@ class Tracer:
         self._counters[key] = self._counters.get(key, 0) + 1
         if not self._subscribers:
             return
+        record = TraceRecord(time_ns, category, event, fields)
+        for prefix, callback in self._subscribers:
+            if key.startswith(prefix):
+                callback(record)
+
+    def fanout(
+        self, time_ns: int, category: str, event: str, fields: dict[str, Any]
+    ) -> None:
+        """Deliver one record to subscribers *without* counting it.
+
+        The fan-out half of :meth:`emit`, for self-counting components
+        (their registered dict already holds the count).  Callers guard
+        with :attr:`active`; calling with no subscribers is a no-op.
+        """
+        if not self._subscribers:
+            return
+        key = f"{category}.{event}"
         record = TraceRecord(time_ns, category, event, fields)
         for prefix, callback in self._subscribers:
             if key.startswith(prefix):
@@ -88,12 +138,24 @@ class Tracer:
 
     def count(self, key: str) -> int:
         """How many records of ``category.event`` were emitted."""
-        return self._counters.get(key, 0)
+        total = self._counters.get(key, 0)
+        for category, counters in self._registered:
+            prefix = category + "."
+            if key.startswith(prefix):
+                total += counters.get(key[len(prefix):], 0)
+        return total
 
     def counters(self) -> dict[str, int]:
-        """A copy of all counters."""
-        return dict(self._counters)
+        """All counters, with registered component dicts merged in."""
+        merged = dict(self._counters)
+        for category, counters in self._registered:
+            for event, value in counters.items():
+                key = f"{category}.{event}"
+                merged[key] = merged.get(key, 0) + value
+        return merged
 
     def reset_counters(self) -> None:
-        """Zero every counter."""
+        """Zero every counter (including registered component dicts)."""
         self._counters.clear()
+        for _, counters in self._registered:
+            counters.clear()

@@ -215,3 +215,21 @@ def test_sweep_round_trips():
     assert [s.canonical_json() for s in restored.expand()] == [
         s.canonical_json() for s in sweep.expand()
     ]
+
+
+def test_stack_kernel_knob_round_trips():
+    spec = ScenarioSpec(
+        topology=TopologySpec(positions_m=((0.0, 0.0), (10.0, 0.0))),
+        stack=StackSpec(kernel="python"),
+    )
+    assert spec.stack.kernel == "python"
+    clone = ScenarioSpec.from_dict(spec.to_dict())
+    assert clone.stack.kernel == "python"
+    assert clone == spec
+    # Default stays "follow the environment".
+    assert StackSpec().kernel is None
+
+
+def test_stack_kernel_knob_rejects_unknown_name():
+    with pytest.raises(ConfigurationError, match="kernel"):
+        StackSpec(kernel="fortran")

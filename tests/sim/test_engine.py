@@ -224,3 +224,89 @@ class TestOrderingProperty:
         handles[cancel_index].cancel()
         sim.run()
         assert set(fired) == set(range(len(delays))) - {cancel_index}
+
+
+class TestSlotRecycling:
+    """Edge cases of the slot/token storage behind EventHandle.
+
+    Slots are recycled through a free-list; the monotonically increasing
+    sequence token is what distinguishes "this event" from "whatever now
+    occupies the same slot".  Every stale-handle operation must be a safe
+    no-op.
+    """
+
+    def test_cancel_then_fire_same_slot(self):
+        # Cancelling releases the slot; the next schedule may reuse it.
+        # The replacement event must fire, the cancelled one must not.
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(100, fired.append, "cancelled")
+        first.cancel()
+        sim.schedule(100, fired.append, "survivor")
+        sim.run()
+        assert fired == ["survivor"]
+
+    def test_stale_handle_cannot_cancel_slot_reuser(self):
+        # A handle whose event was cancelled must not be able to kill the
+        # unrelated event now living in the recycled slot.
+        sim = Simulator()
+        fired = []
+        stale = sim.schedule(100, fired.append, "old")
+        stale.cancel()
+        sim.schedule(50, fired.append, "new")  # takes the freed slot
+        stale.cancel()  # second cancel: stale token, must be a no-op
+        sim.run()
+        assert fired == ["new"]
+
+    def test_stale_handle_after_fire_cannot_cancel_reuser(self):
+        # Same as above, but the slot is released by *firing*, not by an
+        # explicit cancel.
+        sim = Simulator()
+        fired = []
+        stale = sim.schedule(10, fired.append, "first")
+        sim.run()
+        later = sim.schedule(10, fired.append, "second")
+        stale.cancel()  # must not touch "second" even if slots collide
+        sim.run()
+        assert fired == ["first", "second"]
+        assert later.cancelled
+
+    def test_cancel_at_now_before_dispatch(self):
+        # An event scheduled for *now* (delay 0) can still be cancelled
+        # as long as the loop has not dispatched it.
+        sim = Simulator()
+        fired = []
+
+        def cancel_sibling():
+            sibling.cancel()
+
+        # Same timestamp, scheduling order: canceller runs first.
+        sim.schedule(100, cancel_sibling)
+        sibling = sim.schedule(100, fired.append, "sibling")
+        sim.run()
+        assert fired == []
+        assert sibling.cancelled
+
+    def test_cancel_twice_reports_first_only(self):
+        sim = Simulator()
+        slot, seq = sim.schedule_slot(100, lambda: None)
+        assert sim.cancel_slot(slot, seq) is True
+        assert sim.cancel_slot(slot, seq) is False
+        assert sim.pending_events == 0
+
+    def test_handle_cancelled_property_tracks_slot_state(self):
+        sim = Simulator()
+        handle = sim.schedule(100, lambda: None)
+        assert not handle.cancelled
+        sim.run()
+        assert handle.cancelled  # fired counts as no-longer-pending
+
+    def test_free_list_reuses_slots_bounded(self):
+        # Churning schedule/cancel through a small window must not grow
+        # the slot arrays without bound.
+        sim = Simulator()
+        for _ in range(10_000):
+            sim.schedule(100, lambda: None).cancel()
+        assert len(sim._slot_token) < 64
+        sim.run()
+        assert sim.pending_events == 0
