@@ -16,7 +16,7 @@ import math
 from repro.errors import ConfigurationError
 from repro.sim.engine import Simulator
 from repro.sim.timers import Timer
-from repro.units import s_to_ns
+from repro.units import ns_to_s, s_to_ns
 
 
 class LinearMobility:
@@ -66,7 +66,7 @@ class LinearMobility:
         self._velocity = velocity_m_s
 
     def _apply_motion(self) -> None:
-        elapsed_s = (self._sim.now_ns - self._last_update_ns) / 1e9
+        elapsed_s = ns_to_s(self._sim.now_ns - self._last_update_ns)
         x, y = self._device.position_m
         self._device.position_m = (
             x + self._velocity[0] * elapsed_s,

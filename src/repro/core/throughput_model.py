@@ -34,6 +34,7 @@ from repro.core.airtime import AirtimeCalculator
 from repro.core.encapsulation import TransportProtocol, mac_payload_bytes
 from repro.core.params import ALL_RATES, Dot11bConfig, Rate
 from repro.errors import ConfigurationError
+from repro.units import bps_to_mbps
 
 
 class RtsCtsOverheadModel(enum.Enum):
@@ -90,7 +91,7 @@ class ThroughputEntry:
     @property
     def throughput_mbps(self) -> float:
         """Throughput in Mbps (the unit Table 2 reports)."""
-        return self.throughput_bps / 1e6
+        return bps_to_mbps(self.throughput_bps)
 
     @property
     def utilization(self) -> float:

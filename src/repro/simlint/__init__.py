@@ -18,25 +18,52 @@ through one).  This package turns them into machine-checked invariants:
   classes, no unpicklable lambdas handed to the sweep engine.
 * **SL5xx spec conformance** — the MAC/PHY constants the code actually
   declares are diffed against a golden 802.11b table (paper Table 1).
+* **SL7xx unit/dimension dataflow** — units inferred from the naming
+  contract (``*_ns``/``*_us``/``*_s``/``*_dbm``/``*_mw``/``*_bps``…)
+  and from :mod:`repro.units` converters flow through assignments,
+  returns and cross-module call arguments; mixing ns with s, adding dB
+  to mW, double-converting, or feeding a bare float literal to a
+  ``*_ns`` parameter is flagged (see :mod:`repro.simlint.project`).
+* **SL8xx kernel/scheduler parity** — order-dependent float
+  accumulation over sets, builtin ``sum()`` beside numpy reductions,
+  numpy arrays built from unordered iteration, and slot/token API
+  misuse (literal tokens, handles reused after ``cancel_slot``).
 
-Run it as ``repro lint [--format text|json]``; findings can be waived
-inline with ``# simlint: waive[SLnnn] -- justification`` or recorded in
-a baseline file (see :mod:`repro.simlint.baseline`).
+SL7xx's cross-module rules run on a whole-program import/symbol graph
+built from picklable per-module summaries; the same summaries let the
+per-file pass fan out over processes (``--jobs``) and be cached on
+content hash (:mod:`repro.simlint.cache`).
+
+Run it as ``repro lint [--format text|json|sarif] [--jobs N]``;
+findings can be waived inline with ``# simlint: waive[SLnnn] --
+justification`` or recorded in a baseline file (see
+:mod:`repro.simlint.baseline`).  A justified waiver that suppresses
+nothing is itself reported (SL003) so waivers cannot outlive the code
+they excused.
 """
 
 from __future__ import annotations
 
 from repro.simlint.baseline import Baseline, fingerprint
+from repro.simlint.cache import LintCache, default_cache_dir
 from repro.simlint.checker import Checker, Finding, ParsedModule, lint_paths
+from repro.simlint.project import ModuleSummary, ProjectGraph, summarize_module
 from repro.simlint.report import render_json, render_text
+from repro.simlint.sarif import render_sarif
 
 __all__ = [
     "Baseline",
     "Checker",
     "Finding",
+    "LintCache",
+    "ModuleSummary",
     "ParsedModule",
+    "ProjectGraph",
+    "default_cache_dir",
     "fingerprint",
     "lint_paths",
     "render_json",
+    "render_sarif",
     "render_text",
+    "summarize_module",
 ]

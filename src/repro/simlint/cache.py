@@ -1,0 +1,189 @@
+"""Content-hash keyed cache of per-file lint results.
+
+The whole-program pass re-parses every file under ``src/repro`` on each
+run; almost all of them are unchanged between runs.  This cache keys one
+:class:`~repro.simlint.checker.FileResult` — module-rule findings plus
+the module's project-graph summary — on the SHA-256 of the file's bytes
+joined with a version tag hashing the linter's own sources, so editing
+any rule (or the checker, or this file) invalidates every entry at once.
+Entries are JSON (one file per key, written atomically), mirroring the
+sweep cache in :mod:`repro.parallel.cache`.
+
+Project rules and SL003 are *not* cached: they depend on every file in
+the run, and re-running them over cached summaries is cheap — the cache
+exists to skip parsing and the per-file pass, which dominate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.simlint.checker import FileResult, Finding, Waiver
+from repro.simlint.project import (
+    ArgInfo,
+    CallSite,
+    FunctionSig,
+    ModuleSummary,
+    ParamInfo,
+)
+
+_version_tag_cache: str | None = None
+
+
+def default_cache_dir() -> Path:
+    """Cache root: env override, else ``~/.cache/repro-simlint``."""
+    override = os.environ.get("REPRO_SIMLINT_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-simlint"
+
+
+def rules_version_tag() -> str:
+    """Content hash of the linter's own sources (computed once per process)."""
+    global _version_tag_cache
+    if _version_tag_cache is None:
+        package_root = Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        for file in sorted(package_root.rglob("*.py")):
+            digest.update(str(file.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(file.read_bytes())
+            digest.update(b"\0")
+        _version_tag_cache = digest.hexdigest()[:16]
+    return _version_tag_cache
+
+
+# -- JSON round-trip --------------------------------------------------------
+
+
+def _summary_to_json(summary: ModuleSummary) -> dict[str, object]:
+    payload = asdict(summary)
+    payload["soft_lines"] = sorted(summary.soft_lines)
+    return payload
+
+
+def _summary_from_json(payload: dict[str, object]) -> ModuleSummary:
+    def _pairs(items: object) -> tuple[tuple[str, str], ...]:
+        return tuple((str(a), str(b)) for a, b in items)  # type: ignore[union-attr]
+
+    functions = tuple(
+        FunctionSig(
+            module=f["module"],
+            qualname=f["qualname"],
+            name=f["name"],
+            lineno=f["lineno"],
+            params=tuple(ParamInfo(**p) for p in f["params"]),
+            kwonly=tuple(ParamInfo(**p) for p in f["kwonly"]),
+            has_vararg=f["has_vararg"],
+            return_unit=f["return_unit"],
+        )
+        for f in payload["functions"]  # type: ignore[union-attr]
+    )
+    calls = tuple(
+        CallSite(
+            callee=c["callee"],
+            line=c["line"],
+            col=c["col"],
+            args=tuple(ArgInfo(**a) for a in c["args"]),
+            kwargs=tuple((name, ArgInfo(**a)) for name, a in c["kwargs"]),
+            has_star=c["has_star"],
+        )
+        for c in payload["calls"]  # type: ignore[union-attr]
+    )
+    waivers = tuple(
+        Waiver(
+            line=w["line"],
+            rule_ids=tuple(w["rule_ids"]),
+            reason=w["reason"],
+            standalone=w["standalone"],
+        )
+        for w in payload["waivers"]  # type: ignore[union-attr]
+    )
+    return ModuleSummary(
+        module=str(payload["module"]),
+        relpath=str(payload["relpath"]),
+        is_package=bool(payload["is_package"]),
+        imports=_pairs(payload["imports"]),
+        functions=functions,
+        calls=calls,
+        waivers=waivers,
+        soft_lines=frozenset(int(n) for n in payload["soft_lines"]),  # type: ignore[union-attr]
+    )
+
+
+def result_to_json(result: FileResult) -> dict[str, object]:
+    return {
+        "relpath": result.relpath,
+        "findings": [asdict(finding) for finding in result.findings],
+        "summary": (
+            _summary_to_json(result.summary) if result.summary is not None else None
+        ),
+        "used_waiver_lines": list(result.used_waiver_lines),
+    }
+
+
+def result_from_json(payload: dict[str, object]) -> FileResult:
+    summary = payload.get("summary")
+    return FileResult(
+        relpath=str(payload["relpath"]),
+        findings=tuple(
+            Finding(**finding) for finding in payload["findings"]  # type: ignore[union-attr]
+        ),
+        summary=(
+            _summary_from_json(summary)  # type: ignore[arg-type]
+            if summary is not None
+            else None
+        ),
+        used_waiver_lines=tuple(
+            int(line) for line in payload["used_waiver_lines"]  # type: ignore[union-attr]
+        ),
+    )
+
+
+class LintCache:
+    """One JSON file per ``(content hash, linter version)`` key."""
+
+    def __init__(self, directory: Path):
+        self._directory = Path(directory)
+        self._tag = rules_version_tag()
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @staticmethod
+    def content_hash(path: Path) -> str:
+        """SHA-256 of the file's bytes — the cache key's file half."""
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+
+    def _entry_path(self, content_hash: str) -> Path:
+        return self._directory / f"{self._tag}-{content_hash}.json"
+
+    def get(self, content_hash: str) -> FileResult | None:
+        """The cached result for a content hash, or None on any miss."""
+        entry = self._entry_path(content_hash)
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+            return result_from_json(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, content_hash: str, result: FileResult) -> None:
+        """Persist one result (atomic rename; concurrent lints may race)."""
+        entry = self._entry_path(content_hash)
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            scratch = entry.with_suffix(f".tmp.{os.getpid()}")
+            scratch.write_text(
+                json.dumps(result_to_json(result), sort_keys=True),
+                encoding="utf-8",
+            )
+            os.replace(scratch, entry)
+        except OSError:  # pragma: no cover - cache is best-effort
+            pass

@@ -20,10 +20,16 @@ not suppress anything (and is itself reported as ``SL001``).
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (project -> checker)
+    from repro.simlint.cache import LintCache
+    from repro.simlint.project import ModuleSummary
 
 #: Matches waiver comments: ``simlint: waive[SL101, SL202] -- reason``.
 _WAIVER_RE = re.compile(
@@ -164,12 +170,33 @@ def _is_blank_or_comment(text: str) -> bool:
     return not stripped or stripped.startswith("#")
 
 
+def _comment_lines(source: str) -> dict[int, str]:
+    """1-based line number of every *real* comment token in ``source``.
+
+    Tokenizing (rather than regexing raw lines) keeps waiver examples in
+    docstrings — this module's own docstring included — from being
+    mistaken for live suppressions; that matters now that SL003 reports
+    waivers that suppress nothing.
+    """
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass
+    return comments
+
+
 def _extract_waivers(source: str) -> Iterator[Waiver]:
     lines = source.splitlines()
-    for line_number, text in enumerate(lines, start=1):
-        match = _WAIVER_RE.search(text)
+    comments = _comment_lines(source)
+    for line_number, comment in sorted(comments.items()):
+        match = _WAIVER_RE.search(comment)
         if match is None:
             continue
+        text = lines[line_number - 1] if line_number <= len(lines) else comment
         rule_ids = tuple(
             token.strip() for token in match.group("rules").split(",") if token.strip()
         )
@@ -191,24 +218,82 @@ def _extract_waivers(source: str) -> Iterator[Waiver]:
         )
 
 
+@dataclass(frozen=True)
+class FileResult:
+    """The per-file half of a lint run: picklable, hence poolable/cacheable.
+
+    ``findings`` carries the module-rule findings (waivers applied),
+    ``summary`` the project-graph contribution (None when the file did
+    not parse), ``used_waiver_lines`` the lines of waivers that
+    suppressed at least one module-rule finding — the project pass adds
+    its own uses before SL003 reports the leftovers as stale.
+    """
+
+    relpath: str
+    findings: tuple[Finding, ...]
+    summary: "ModuleSummary | None"
+    used_waiver_lines: tuple[int, ...]
+
+
+def _relpath_for(path: Path, root: Path | None) -> str:
+    try:
+        relpath = str(path.relative_to(root)) if root is not None else str(path)
+    except ValueError:
+        relpath = str(path)
+    return relpath.replace("\\", "/")
+
+
+def _lint_file_payload(payload: tuple[str, str | None]) -> FileResult:
+    """Module-level pool worker: lint one file with the default rules."""
+    path_text, root_text = payload
+    root = Path(root_text) if root_text is not None else None
+    return Checker().check_file(Path(path_text), root=root)
+
+
 class Checker:
-    """Parses files and runs every registered rule over them."""
+    """Parses files and runs every registered rule over them.
+
+    Module rules run per file (in parallel and through the result cache
+    when :meth:`check_paths` is given ``jobs``/``cache``); project rules
+    run once afterwards over the :class:`~repro.simlint.project.ProjectGraph`
+    joining every file's summary.
+    """
 
     def __init__(self, rules: Sequence[object] | None = None):
+        self._default_rules = rules is None
         if rules is None:
             from repro.simlint.rules import all_rules
 
             rules = all_rules()
-        self._rules = list(rules)
+        self._module_rules = [rule for rule in rules if hasattr(rule, "check")]
+        self._project_rules = [
+            rule for rule in rules if hasattr(rule, "check_project")
+        ]
 
     @property
     def rules(self) -> tuple[object, ...]:
         """The rule instances this checker runs."""
-        return tuple(self._rules)
+        return tuple(
+            sorted(
+                [*self._module_rules, *self._project_rules],
+                key=lambda rule: rule.rule_id,  # type: ignore[attr-defined]
+            )
+        )
 
     def check_module(self, module: ParsedModule) -> list[Finding]:
-        """All findings for one parsed module, waivers applied."""
+        """Module-rule findings for one parsed module, waivers applied.
+
+        Project rules and SL003 need the whole file set and therefore
+        only run from :meth:`check_paths`.
+        """
+        findings, _ = self._check_module(module)
+        return findings
+
+    def _check_module(
+        self, module: ParsedModule
+    ) -> tuple[list[Finding], set[int]]:
         findings: list[Finding] = []
+        used_waiver_lines: set[int] = set()
         for waiver in module.waivers:
             if waiver.reason is None:
                 findings.append(
@@ -223,37 +308,182 @@ class Checker:
                         ),
                     )
                 )
-        for rule in self._rules:
+        for rule in self._module_rules:
             for finding in rule.check(module):  # type: ignore[attr-defined]
                 waiver = module.waiver_for(finding)
                 if waiver is not None and waiver.reason is not None:
                     finding = replace(
                         finding, waived=True, waiver_reason=waiver.reason
                     )
+                    used_waiver_lines.add(waiver.line)
                 findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings, used_waiver_lines
+
+    def check_file(self, file_path: Path, root: Path | None = None) -> FileResult:
+        """Parse and module-rule-check one file into a :class:`FileResult`."""
+        from repro.simlint.project import summarize_module
+
+        try:
+            module = ParsedModule.parse(file_path, root=root)
+        except (SyntaxError, UnicodeDecodeError) as error:
+            finding = Finding(
+                rule_id="SL002",
+                path=_relpath_for(file_path, root),
+                line=getattr(error, "lineno", 1) or 1,
+                col=0,
+                message=f"cannot parse file: {error}",
+            )
+            return FileResult(
+                relpath=finding.path,
+                findings=(finding,),
+                summary=None,
+                used_waiver_lines=(),
+            )
+        findings, used = self._check_module(module)
+        return FileResult(
+            relpath=module.relpath,
+            findings=tuple(findings),
+            summary=summarize_module(module),
+            used_waiver_lines=tuple(sorted(used)),
+        )
+
+    def check_paths(
+        self,
+        paths: Iterable[Path],
+        root: Path | None = None,
+        jobs: int = 1,
+        cache: "LintCache | None" = None,
+    ) -> list[Finding]:
+        """Findings for every ``*.py`` file under ``paths``.
+
+        The per-file pass fans out over ``jobs`` processes (via
+        :func:`repro.parallel.pmap`) and consults ``cache`` (content-hash
+        keyed, see :mod:`repro.simlint.cache`) when given; both shortcuts
+        require the default rule set, since workers and cache entries
+        re-create it by name.  The project pass then joins every file
+        summary, runs the project rules, and reports stale waivers
+        (SL003) that suppressed nothing anywhere.
+        """
+        results = self._file_results(
+            list(iter_python_files(paths)), root, jobs, cache
+        )
+        findings = [finding for result in results for finding in result.findings]
+        findings.extend(self._project_findings(results))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
         return findings
 
-    def check_paths(self, paths: Iterable[Path], root: Path | None = None) -> list[Finding]:
-        """Findings for every ``*.py`` file under ``paths``."""
-        findings: list[Finding] = []
-        for file_path in iter_python_files(paths):
+    def _file_results(
+        self,
+        files: list[Path],
+        root: Path | None,
+        jobs: int,
+        cache: "LintCache | None",
+    ) -> list[FileResult]:
+        if (jobs > 1 or cache is not None) and not self._default_rules:
+            raise ValueError(
+                "jobs/cache require the default rule set: pool workers and "
+                "cache entries re-create the registered rules by name"
+            )
+        if cache is None:
+            if jobs > 1:
+                from repro.parallel import pmap
+
+                payloads = [
+                    (str(path), str(root) if root is not None else None)
+                    for path in files
+                ]
+                return list(pmap(_lint_file_payload, payloads, jobs=jobs))
+            return [self.check_file(path, root=root) for path in files]
+
+        results: dict[int, FileResult] = {}
+        misses: list[tuple[int, Path, str]] = []
+        for index, path in enumerate(files):
             try:
-                module = ParsedModule.parse(file_path, root=root)
-            except (SyntaxError, UnicodeDecodeError) as error:
-                findings.append(
-                    Finding(
-                        rule_id="SL002",
-                        path=str(file_path),
-                        line=getattr(error, "lineno", 1) or 1,
-                        col=0,
-                        message=f"cannot parse file: {error}",
-                    )
-                )
-                continue
-            findings.extend(self.check_module(module))
-        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+                content_hash = cache.content_hash(path)
+            except OSError:
+                content_hash = ""
+            cached = cache.get(content_hash) if content_hash else None
+            # A file's relpath depends on the lint root, not its content;
+            # reject hits recorded under a different root.
+            if cached is not None and cached.relpath == _relpath_for(path, root):
+                results[index] = cached
+            else:
+                misses.append((index, path, content_hash))
+        if misses:
+            if jobs > 1 and len(misses) > 1:
+                from repro.parallel import pmap
+
+                payloads = [
+                    (str(path), str(root) if root is not None else None)
+                    for _, path, _ in misses
+                ]
+                fresh = list(pmap(_lint_file_payload, payloads, jobs=jobs))
+            else:
+                fresh = [
+                    self.check_file(path, root=root) for _, path, _ in misses
+                ]
+            for (index, _, content_hash), result in zip(misses, fresh):
+                results[index] = result
+                if content_hash:
+                    cache.put(content_hash, result)
+        return [results[index] for index in range(len(files))]
+
+    def _project_findings(self, results: Sequence[FileResult]) -> list[Finding]:
+        from repro.simlint.project import ProjectGraph, waiver_for_summary
+
+        summaries = [
+            result.summary for result in results if result.summary is not None
+        ]
+        by_relpath = {summary.relpath: summary for summary in summaries}
+        used: dict[str, set[int]] = {
+            result.relpath: set(result.used_waiver_lines) for result in results
+        }
+        graph = ProjectGraph({summary.module: summary for summary in summaries})
+        findings: list[Finding] = []
+        for rule in self._project_rules:
+            for finding in rule.check_project(graph):  # type: ignore[attr-defined]
+                summary = by_relpath.get(finding.path)
+                if summary is not None:
+                    waiver = waiver_for_summary(summary, finding)
+                    if waiver is not None and waiver.reason is not None:
+                        finding = replace(
+                            finding, waived=True, waiver_reason=waiver.reason
+                        )
+                        used.setdefault(finding.path, set()).add(waiver.line)
+                findings.append(finding)
+        if self._default_rules:
+            findings.extend(self._stale_waivers(summaries, used))
         return findings
+
+    @staticmethod
+    def _stale_waivers(
+        summaries: Sequence["ModuleSummary"],
+        used: dict[str, set[int]],
+    ) -> Iterator[Finding]:
+        """SL003: justified waivers that suppressed nothing this run.
+
+        Only meaningful under the full rule set — a partial run (tests
+        exercising one rule) would otherwise report every other family's
+        waivers as stale.
+        """
+        for summary in summaries:
+            used_lines = used.get(summary.relpath, set())
+            for waiver in summary.waivers:
+                if waiver.reason is None or waiver.line in used_lines:
+                    continue
+                rules_text = ", ".join(waiver.rule_ids)
+                yield Finding(
+                    rule_id="SL003",
+                    path=summary.relpath,
+                    line=waiver.line,
+                    col=0,
+                    message=(
+                        f"stale waiver [{rules_text}]: it suppresses no "
+                        "finding in this run; delete it (rules evolve — "
+                        "dead waivers hide real regressions)"
+                    ),
+                )
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.simlint.baseline import Baseline, LineTextLookup
+from repro.simlint.cache import LintCache, default_cache_dir
 from repro.simlint.checker import Checker, Finding, ParsedModule, iter_python_files
 from repro.simlint.report import (
     EXIT_CLEAN,
@@ -23,6 +24,7 @@ from repro.simlint.report import (
 )
 from repro.simlint.rules import all_rules
 from repro.simlint.rules.spec import extract_spec_constants
+from repro.simlint.sarif import CHECKER_RULES, render_sarif
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,9 +43,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default text)",
+        help="report format (default text; sarif is SARIF 2.1.0 for CI)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files across N processes (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "cache per-file results keyed on content hash "
+            "(default: $REPRO_SIMLINT_CACHE_DIR or ~/.cache/repro-simlint)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-file result cache",
     )
     parser.add_argument(
         "--baseline",
@@ -82,10 +106,8 @@ def _list_rules() -> str:
     lines = ["simlint rules:"]
     for rule in all_rules():
         lines.append(f"  {rule.rule_id}  {rule.summary}")
-    lines.append(
-        "  SL001  waiver comment without a '-- justification' suffix"
-    )
-    lines.append("  SL002  file cannot be parsed")
+    for rule_id, summary in sorted(CHECKER_RULES.items()):
+        lines.append(f"  {rule_id}  {summary}")
     return "\n".join(lines)
 
 
@@ -121,8 +143,18 @@ def run(argv: Sequence[str] | None = None) -> int:
             print(f"error: no such file or directory: {path}", file=sys.stderr)
         return EXIT_ERROR
 
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return EXIT_ERROR
+    cache = None
+    if not args.no_cache:
+        cache_dir = (
+            args.cache_dir if args.cache_dir is not None else default_cache_dir()
+        )
+        cache = LintCache(cache_dir)
+
     files_checked = sum(1 for _ in iter_python_files(paths))
-    findings = Checker().check_paths(paths, root=root)
+    findings = Checker().check_paths(paths, root=root, jobs=args.jobs, cache=cache)
     waived = [finding for finding in findings if finding.waived]
     active = [finding for finding in findings if not finding.waived]
     lookup = LineTextLookup(root=root)
@@ -145,7 +177,14 @@ def run(argv: Sequence[str] | None = None) -> int:
             return EXIT_ERROR
         active, baselined = baseline.split(findings, lookup)
 
-    if args.format == "json":
+    if args.format == "sarif":
+        rendered = render_sarif(
+            active,
+            waived,
+            baselined,
+            {rule.rule_id: rule.summary for rule in all_rules()},
+        )
+    elif args.format == "json":
         rendered = render_json(
             active,
             waived,

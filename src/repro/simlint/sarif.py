@@ -1,0 +1,132 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what GitHub code scanning ingests: CI uploads the document via
+``github/codeql-action/upload-sarif`` and findings annotate the PR diff
+inline.  One run object carries the whole lint pass:
+
+* every rule (the registry's families plus the checker's own
+  SL001/SL002/SL003) is declared in ``tool.driver.rules`` so viewers can
+  show summaries without guessing;
+* active findings become ``results`` at level ``error`` (the lint gate
+  fails on any active finding, so "error" is honest);
+* waived and baselined findings are emitted too — GitHub hides them —
+  with a ``suppressions`` entry (``inSource`` for inline waivers,
+  ``external`` for baseline entries) so an audit can still see what was
+  accepted and why.
+
+URIs are the checker's root-relative POSIX paths, which is exactly what
+``upload-sarif`` expects relative to the repository checkout.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from repro.simlint.checker import Finding
+
+#: The schema the document declares; tests validate against a vendored
+#: subset of it (the full OASIS schema is not shipped in the image).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Findings the checker emits itself, outside the rule registry.
+CHECKER_RULES: Mapping[str, str] = {
+    "SL001": "waiver comment without a '-- justification' suffix",
+    "SL002": "file cannot be parsed",
+    "SL003": "stale waiver: suppresses no finding in the current run",
+}
+
+
+def _rule_descriptors(
+    rule_summaries: Mapping[str, str]
+) -> list[dict[str, object]]:
+    merged = dict(CHECKER_RULES)
+    merged.update(rule_summaries)
+    return [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, summary in sorted(merged.items())
+    ]
+
+
+def _result(
+    finding: Finding,
+    rule_index: Mapping[str, int],
+    suppression_kind: str | None,
+) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    if suppression_kind is not None:
+        suppression: dict[str, object] = {"kind": suppression_kind}
+        if finding.waiver_reason:
+            suppression["justification"] = finding.waiver_reason
+        result["suppressions"] = [suppression]
+    return result
+
+
+def render_sarif(
+    active: Sequence[Finding],
+    waived: Sequence[Finding],
+    baselined: Sequence[Finding],
+    rule_summaries: Mapping[str, str],
+    tool_version: str = "2.0.0",
+) -> str:
+    """The SARIF 2.1.0 document for one lint run."""
+    rules = _rule_descriptors(rule_summaries)
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}  # type: ignore[misc]
+    results = [_result(finding, rule_index, None) for finding in active]
+    results.extend(
+        _result(finding, rule_index, "inSource") for finding in waived
+    )
+    results.extend(
+        _result(finding, rule_index, "external") for finding in baselined
+    )
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": (
+                            "https://github.com/repro80211/repro80211"
+                        ),
+                        "semanticVersion": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

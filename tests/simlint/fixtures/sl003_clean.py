@@ -1,0 +1,11 @@
+"""Clean for SL003: waiver syntax inside a docstring is documentation.
+
+Example::
+
+    draw = rng.random()  # simlint: waive[SL101] -- demo only
+
+Only real comment tokens count as waivers, so the example above neither
+suppresses anything nor goes stale.
+"""
+
+value = 1

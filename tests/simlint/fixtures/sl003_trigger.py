@@ -1,0 +1,3 @@
+"""Triggers SL003: a justified waiver that suppresses no finding."""
+
+value = 1  # simlint: waive[SL101] -- nothing here draws randomness

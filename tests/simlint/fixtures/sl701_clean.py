@@ -1,0 +1,7 @@
+"""Clean for SL701: units converted at the boundary, not by renaming."""
+from repro.units import ns_to_s
+
+
+def elapsed_seconds(now_ns: int, start_ns: int) -> float:
+    elapsed_s = ns_to_s(now_ns - start_ns)
+    return elapsed_s

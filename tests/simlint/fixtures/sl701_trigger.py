@@ -1,0 +1,6 @@
+"""Triggers SL701: microseconds assigned to a seconds-suffixed name."""
+
+
+def airtime_budget(frame_airtime_us: float) -> float:
+    budget_s = frame_airtime_us
+    return budget_s

@@ -1,0 +1,7 @@
+"""Clean for SL702: convert to linear milliwatts before summing power."""
+from repro.units import dbm_to_mw, mw_to_dbm
+
+
+def combined_power_dbm(tx_dbm: float, interference_mw: float) -> float:
+    total_mw = dbm_to_mw(tx_dbm) + interference_mw
+    return mw_to_dbm(total_mw)

@@ -1,0 +1,6 @@
+"""Triggers SL702: dBm added to mW — log and linear power mixed."""
+
+
+def combined_power(tx_dbm: float, interference_mw: float) -> float:
+    total = tx_dbm + interference_mw
+    return total

@@ -1,0 +1,6 @@
+"""Clean for SL703: the converter receives its declared input unit."""
+from repro.units import us_to_ns
+
+
+def schedule_after(delay_us: float) -> int:
+    return us_to_ns(delay_us)

@@ -1,0 +1,6 @@
+"""Triggers SL703: converting a value already in the target unit."""
+from repro.units import us_to_ns
+
+
+def schedule_after(delay_ns: int) -> int:
+    return us_to_ns(delay_ns)

@@ -1,0 +1,10 @@
+"""Clean for SL704: convert before crossing the call boundary."""
+from repro.units import us_to_ns
+
+
+def schedule(delay_ns: int) -> int:
+    return delay_ns
+
+
+def arm(timeout_us: float) -> int:
+    return schedule(us_to_ns(timeout_us))

@@ -1,0 +1,9 @@
+"""Triggers SL704: a microsecond value crossing a nanosecond parameter."""
+
+
+def schedule(delay_ns: int) -> int:
+    return delay_ns
+
+
+def arm(timeout_us: float) -> int:
+    return schedule(timeout_us)

@@ -1,0 +1,9 @@
+"""Clean for SL705: integer nanoseconds cross the scheduling API."""
+
+
+def schedule(delay_ns: int) -> int:
+    return delay_ns
+
+
+def arm() -> int:
+    return schedule(1_500)

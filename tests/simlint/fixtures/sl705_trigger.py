@@ -1,0 +1,9 @@
+"""Triggers SL705: a bare float literal fed to a *_ns parameter."""
+
+
+def schedule(delay_ns: int) -> int:
+    return delay_ns
+
+
+def arm() -> int:
+    return schedule(1500.5)

@@ -1,0 +1,7 @@
+"""Clean for SL801: order pinned by sorted(), summed exactly."""
+import math
+
+
+def total_power(readings_mw: frozenset) -> float:
+    levels = sorted(readings_mw)
+    return math.fsum(levels)

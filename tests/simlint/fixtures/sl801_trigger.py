@@ -1,0 +1,6 @@
+"""Triggers SL801: float accumulation over an unordered set."""
+
+
+def total_power(readings_mw: frozenset) -> float:
+    levels = set(readings_mw)
+    return sum(levels)

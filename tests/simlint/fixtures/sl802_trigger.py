@@ -1,0 +1,7 @@
+"""Triggers SL802: builtin sum() in a module that also runs numpy math."""
+import numpy as np
+
+
+def mean_power(samples_mw: list) -> float:
+    total_mw = sum(samples_mw)
+    return total_mw / np.float64(len(samples_mw))

@@ -1,0 +1,6 @@
+"""Clean for SL803: a sorted list pins the array element order."""
+import numpy as np
+
+
+def as_vector(readings_mw: frozenset):
+    return np.array(sorted(readings_mw))

@@ -1,0 +1,7 @@
+"""Triggers SL803: numpy construction fed straight from a set."""
+import numpy as np
+
+
+def as_vector(readings_mw: frozenset):
+    levels = set(readings_mw)
+    return np.array(levels)

@@ -1,0 +1,7 @@
+"""Clean for SL804: the handle is rebound before being consulted again."""
+
+
+def rearm(sim, slot, seq, delay_ns, handler):
+    sim.cancel_slot(slot, seq)
+    slot, seq = sim.schedule_slot(delay_ns, handler)
+    return sim.slot_active(slot, seq)

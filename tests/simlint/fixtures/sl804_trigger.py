@@ -1,0 +1,6 @@
+"""Triggers SL804: a slot handle reused after cancel_slot consumed it."""
+
+
+def rearm(sim, slot, seq):
+    sim.cancel_slot(slot, seq)
+    return sim.slot_active(slot, seq)

@@ -16,6 +16,7 @@ from repro.simlint.checker import Checker
 FIXTURES = Path(__file__).parent / "fixtures"
 
 RULE_IDS = [
+    "SL003",
     "SL101",
     "SL102",
     "SL103",
@@ -27,6 +28,15 @@ RULE_IDS = [
     "SL401",
     "SL402",
     "SL601",
+    "SL701",
+    "SL702",
+    "SL703",
+    "SL704",
+    "SL705",
+    "SL801",
+    "SL802",
+    "SL803",
+    "SL804",
 ]
 
 

@@ -1,0 +1,127 @@
+"""SARIF output: schema validity, rule indexing, suppressions, CLI path."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.simlint.checker import Finding
+from repro.simlint.cli import run as cli_run
+from repro.simlint.sarif import SARIF_VERSION, render_sarif
+
+SCHEMA_PATH = Path(__file__).parent / "sarif-2.1.0-subset.schema.json"
+
+
+@pytest.fixture(scope="module")
+def schema():
+    payload = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    jsonschema.Draft7Validator.check_schema(payload)
+    return payload
+
+
+def make_finding(rule_id="SL101", waived=False, reason=None):
+    return Finding(
+        rule_id=rule_id,
+        path="repro/sim/engine.py",
+        line=12,
+        col=4,
+        message="example finding",
+        waived=waived,
+        waiver_reason=reason,
+    )
+
+
+RULE_SUMMARIES = {"SL101": "module-global randomness", "SL701": "unit mix"}
+
+
+class TestDocumentShape:
+    def test_validates_against_schema(self, schema):
+        document = json.loads(
+            render_sarif(
+                [make_finding()],
+                [make_finding(waived=True, reason="fixture noise")],
+                [make_finding(rule_id="SL701")],
+                RULE_SUMMARIES,
+            )
+        )
+        jsonschema.validate(document, schema)
+        assert document["version"] == SARIF_VERSION
+
+    def test_every_rule_is_declared_and_indexed(self):
+        document = json.loads(
+            render_sarif([make_finding()], [], [], RULE_SUMMARIES)
+        )
+        (run,) = document["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        declared = [rule["id"] for rule in rules]
+        # Registry families plus the checker's own SL001-SL003.
+        for rule_id in ("SL001", "SL002", "SL003", "SL101", "SL701"):
+            assert rule_id in declared
+        (result,) = run["results"]
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_location_is_root_relative_with_srcroot_base(self):
+        document = json.loads(
+            render_sarif([make_finding()], [], [], RULE_SUMMARIES)
+        )
+        (result,) = document["runs"][0]["results"]
+        (location,) = result["locations"]
+        physical = location["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "repro/sim/engine.py"
+        assert physical["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+        assert physical["region"] == {"startLine": 12, "startColumn": 5}
+
+
+class TestSuppressions:
+    def test_active_findings_carry_no_suppressions(self):
+        document = json.loads(
+            render_sarif([make_finding()], [], [], RULE_SUMMARIES)
+        )
+        (result,) = document["runs"][0]["results"]
+        assert "suppressions" not in result
+
+    def test_waived_findings_are_suppressed_in_source(self):
+        document = json.loads(
+            render_sarif(
+                [],
+                [make_finding(waived=True, reason="fixture noise")],
+                [],
+                RULE_SUMMARIES,
+            )
+        )
+        (result,) = document["runs"][0]["results"]
+        (suppression,) = result["suppressions"]
+        assert suppression["kind"] == "inSource"
+        assert suppression["justification"] == "fixture noise"
+
+    def test_baselined_findings_are_suppressed_externally(self):
+        document = json.loads(
+            render_sarif([], [], [make_finding()], RULE_SUMMARIES)
+        )
+        (result,) = document["runs"][0]["results"]
+        (suppression,) = result["suppressions"]
+        assert suppression["kind"] == "external"
+
+
+class TestCliSarif:
+    def test_cli_emits_valid_sarif(self, tmp_path, capsys, schema, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text(
+            textwrap.dedent(
+                """\
+                import random
+
+                draw = random.random()
+                """
+            ),
+            encoding="utf-8",
+        )
+        exit_code = cli_run(["--no-cache", "--format", "sarif", str(snippet)])
+        document = json.loads(capsys.readouterr().out)
+        jsonschema.validate(document, schema)
+        assert exit_code == 1
+        results = document["runs"][0]["results"]
+        assert any(result["ruleId"] == "SL101" for result in results)
