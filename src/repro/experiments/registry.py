@@ -35,6 +35,12 @@ from repro.experiments.table2 import format_table2, run_table2
 from repro.experiments.two_nodes import format_figure2, run_figure2
 from repro.experiments.delay import format_delay_sweep, run_delay_sweep
 from repro.experiments.mobility import format_link_lifetimes, run_link_lifetimes
+from repro.experiments.multihop import (
+    format_density_sweep,
+    format_multihop_sweep,
+    run_density_sweep,
+    run_multihop_sweep,
+)
 from repro.experiments.ratecontrol import format_arf_sweep, run_arf_sweep
 
 
@@ -221,6 +227,30 @@ def _delay(
     )
 
 
+def _multihop(
+    duration_s: float = 5.0, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None,
+) -> str:
+    return format_multihop_sweep(
+        run_multihop_sweep(
+            duration_s=min(duration_s, 5.0), seed=seed, jobs=jobs,
+            cache=cache, policy=policy,
+        )
+    )
+
+
+def _density(
+    duration_s: float = 3.0, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None,
+) -> str:
+    return format_density_sweep(
+        run_density_sweep(
+            duration_s=min(duration_s, 3.0), seed=seed, jobs=jobs,
+            cache=cache, policy=policy,
+        )
+    )
+
+
 def _link_lifetime(
     seed: int = 1, jobs: int = 1, cache=None, policy=None
 ) -> str:
@@ -290,6 +320,16 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("scenarios", "Topology diagrams (Figures 5/6/8/10)", _scenarios),
         Experiment("arf", "Extension: ARF rate switching vs fixed rates", _arf),
         Experiment("delay", "Extension: one-way delay vs offered load", _delay),
+        Experiment(
+            "multihop",
+            "Extension: chain throughput vs hop count (shortest-path routing)",
+            _multihop,
+        ),
+        Experiment(
+            "density",
+            "Extension: per-node throughput vs neighbour density at N up to 250",
+            _density,
+        ),
         Experiment(
             "link-lifetime",
             "Extension: mobile link lifetime, calibrated vs ns-2 ranges",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Callable
 
 from repro.core.encapsulation import IP_HEADER_BYTES
@@ -26,6 +27,8 @@ class IpLayer:
         self.datagrams_forwarded = 0
         self.datagrams_delivered = 0
         self.send_failures = 0
+        self.datagrams_no_route = 0
+        self.datagrams_ttl_expired = 0
         mac.set_receive_callback(self._on_mac_receive)
 
     @property
@@ -92,7 +95,26 @@ class IpLayer:
 
     def _transmit(self, datagram: Datagram) -> bool:
         next_hop = self._routing.next_hop(datagram.dst)
+        if next_hop is None:
+            # A strict routing table has no path to this destination.
+            # The typed drop is this SDU's terminal state in the ledger —
+            # a silent False here would leave the books unbalanced.
+            self.datagrams_no_route += 1
+            self._drop(datagram, "no-route")
+            return False
         return self._mac.enqueue(datagram, next_hop, datagram.size_bytes)
+
+    def _drop(self, datagram: Datagram, reason: str) -> None:
+        tracer = self._mac.tracer
+        if tracer.audit and datagram.sdu_id >= 0:
+            tracer.emit_audit(
+                self._mac.sim.now_ns,
+                f"net.{self._address}",
+                "sdu_drop",
+                sdu=datagram.sdu_id,
+                origin=datagram.src,
+                reason=reason,
+            )
 
     def _on_mac_receive(self, msdu: Any, mac_src: int) -> None:
         if not isinstance(msdu, Datagram):
@@ -113,6 +135,12 @@ class IpLayer:
                 handler(msdu.segment, msdu.src)
             return
         # Not for us: forward if we know a way (multi-hop extension).
+        if msdu.ttl <= 1:
+            # This hop would be one too many; the datagram dies here
+            # with a typed terminal drop (loop protection).
+            self.datagrams_ttl_expired += 1
+            self._drop(msdu, "ttl-expired")
+            return
         self.datagrams_forwarded += 1
         if tracer.audit and msdu.sdu_id >= 0:
             tracer.emit_audit(
@@ -122,4 +150,4 @@ class IpLayer:
                 sdu=msdu.sdu_id,
                 origin=msdu.src,
             )
-        self._transmit(msdu)
+        self._transmit(replace(msdu, ttl=msdu.ttl - 1))

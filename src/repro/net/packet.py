@@ -18,6 +18,11 @@ from repro.errors import ConfigurationError
 PROTO_UDP = TransportProtocol.UDP.value
 PROTO_TCP = TransportProtocol.TCP.value
 
+#: Initial time-to-live.  Generous against any plausible topology (the
+#: scale experiments top out well under 32 hops) while still bounding a
+#: routing loop to a finite, ledger-visible ``ttl-expired`` drop.
+DEFAULT_TTL = 32
+
 
 @dataclass(frozen=True)
 class Datagram:
@@ -35,6 +40,9 @@ class Datagram:
     #: ledger can follow the SDU across layers.  ``-1`` means untracked
     #: (datagrams built outside an :class:`IpLayer`, e.g. in tests).
     sdu_id: int = -1
+    #: Remaining hops; forwarders decrement and drop at zero
+    #: (``ttl-expired``), so a routing loop can never orbit forever.
+    ttl: int = DEFAULT_TTL
 
     def __post_init__(self) -> None:
         if self.size_bytes < IP_HEADER_BYTES:
@@ -43,3 +51,5 @@ class Datagram:
             )
         if self.protocol not in (PROTO_UDP, PROTO_TCP):
             raise ConfigurationError(f"unknown protocol {self.protocol!r}")
+        if self.ttl < 0:
+            raise ConfigurationError(f"ttl must be >= 0, got {self.ttl}")

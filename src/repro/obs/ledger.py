@@ -11,6 +11,10 @@ terminal state:
                           at the intended receiver (collision/interference
                           evidence, as opposed to a link simply out of range)
 ``queue-overflow``        tail-dropped at a full MAC queue
+``no-route``              a strict routing table had no path to the
+                          destination (at the origin or a forwarder)
+``ttl-expired``           hop budget exhausted while forwarding (routing
+                          loop protection)
 ``fault-crash``           flushed by a node crash (or offered to a down MAC)
 ``tcp-abort``             in flight when its TCP connection was torn down
 ``sim-end-in-flight``     still in flight when the simulation shut down
@@ -35,6 +39,8 @@ DROP_REASONS: tuple[str, ...] = (
     "retry-limit",
     "rx-collision",
     "queue-overflow",
+    "no-route",
+    "ttl-expired",
     "fault-crash",
     "tcp-abort",
     "sim-end-in-flight",

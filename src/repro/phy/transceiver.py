@@ -89,7 +89,7 @@ class Transceiver:
         self._medium = medium
         self._radio = radio
         self.name = name
-        self.position_m = position_m
+        self._position_m = position_m
         self._reception = reception if reception is not None else SinrThresholdReception()
         self._rng = rng if rng is not None else random.Random(0)
         self._tracer = tracer if tracer is not None else Tracer()
@@ -127,6 +127,20 @@ class Transceiver:
     def radio(self) -> RadioParameters:
         """The radio parameters in force."""
         return self._radio
+
+    @property
+    def position_m(self) -> Position:
+        """Current station position (metres)."""
+        return self._position_m
+
+    @position_m.setter
+    def position_m(self, position: Position) -> None:
+        self._position_m = position
+        # The medium evicts stale pair-cache rows and re-buckets the
+        # spatial index; tolerates devices not yet attached (this setter
+        # does not fire during __init__, but external movers may assign
+        # before attach in exotic wiring).
+        self._medium.notify_moved(self)
 
     @property
     def state(self) -> PhyState:

@@ -29,9 +29,11 @@ from repro.channel.shadowing import ChannelModel
 from repro.channel.weather import DayConditions, WeatherProcess
 from repro.core.params import Dot11bConfig, MacParameters, Rate
 from repro.errors import ConfigurationError
+from repro.core.range_model import solve_range_m
 from repro.mac.dcf import AckPolicy
 from repro.mac.ratecontrol import ArfConfig
 from repro.net.node import Node, NodeStackConfig
+from repro.net.routing import ROUTING_POLICIES, build_shortest_path_tables
 from repro.phy.radio import RadioParameters
 from repro.phy.reception import ReceptionModel, SinrThresholdReception
 from repro.scenario.network import FlowHandle, ScenarioNetwork
@@ -62,6 +64,8 @@ def build_network(
     reception: ReceptionModel | None = None,
     mac_queue_frames: int = 200,
     arf: ArfConfig | None = None,
+    medium_mode: str | None = None,
+    routing: str | None = None,
 ) -> ScenarioNetwork:
     """Construct the full stack for one scenario.
 
@@ -69,6 +73,14 @@ def build_network(
     line, like every topology in the paper) or an ``(x, y)`` pair.
     Addresses are assigned 1..N left to right, matching the paper's
     S1..S4 naming.
+
+    ``medium_mode`` pins the reception-event path (``dense`` |
+    ``spatial``; ``None`` follows ``REPRO_MEDIUM``).  ``routing``
+    selects the per-node table policy: ``"shortest-path"`` builds
+    hop-count BFS tables over the connectivity graph (link range solved
+    from the radio's sensitivity at the configured data rate) and
+    installs them strict, so unreachable destinations surface as typed
+    ``no-route`` drops instead of frames aimed at out-of-range MACs.
     """
     sim = Simulator()
     rngs = RngManager(seed)
@@ -83,7 +95,7 @@ def build_network(
         rng=rngs.stream("channel"),
         weather=weather_process,
     )
-    medium = Medium(sim, channel)
+    medium = Medium(sim, channel, mode=medium_mode)
     stack = NodeStackConfig(
         data_rate=data_rate,
         dot11=dot11 if dot11 is not None else Dot11bConfig(),
@@ -112,6 +124,23 @@ def build_network(
                 reception=reception,
             )
         )
+    if routing is not None and routing not in ROUTING_POLICIES:
+        raise ConfigurationError(
+            f"unknown routing policy {routing!r}; "
+            f"accepted: {list(ROUTING_POLICIES)} (or None for direct)"
+        )
+    if routing == "shortest-path":
+        node_radio = stack.radio
+        max_range_m = solve_range_m(
+            channel.mean_loss_db,
+            node_radio.tx_power_dbm,
+            node_radio.sensitivity_dbm[data_rate],
+        )
+        tables = build_shortest_path_tables(
+            [node.position_m for node in nodes], max_range_m
+        )
+        for node in nodes:
+            node.routing.install(tables[node.address])
     return ScenarioNetwork(sim=sim, medium=medium, nodes=nodes, tracer=tracer, rngs=rngs)
 
 
@@ -229,6 +258,8 @@ def build(spec: ScenarioSpec) -> ScenarioNetwork:
             if spec.stack.kernel is not None
             else None
         ),
+        medium_mode=spec.topology.medium,
+        routing=spec.stack.routing,
     )
     net.spec = spec
     # The recorder must attach before flows are wired: a CBR source with

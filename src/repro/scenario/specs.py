@@ -30,14 +30,18 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
+import random
 from dataclasses import dataclass, field
 from itertools import product
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.channel.medium import MEDIUMS
 from repro.channel.weather import DayConditions
 from repro.core.params import Rate
 from repro.errors import ConfigurationError, FaultError
 from repro.mac.dcf import AckPolicy
+from repro.net.routing import ROUTING_POLICIES
 from repro.phy.kernel import KERNELS
 
 #: Serialisation format version; bump on incompatible spec changes.
@@ -244,6 +248,11 @@ class TopologySpec:
     #: log-distance default.
     propagation: str | None = None
     mobility: tuple[MobilitySpec, ...] = ()
+    #: Reception-event generation path: ``"dense"`` | ``"spatial"``, or
+    #: ``None`` to defer to the ``REPRO_MEDIUM`` environment variable
+    #: (default ``auto``).  Purely a performance knob — both paths emit
+    #: bit-identical events.
+    medium: str | None = None
 
     def __post_init__(self) -> None:
         _freeze_types(self, ("fast_sigma_db", "static_sigma_db"))
@@ -258,6 +267,11 @@ class TopologySpec:
                 f"unknown propagation preset {self.propagation!r}; "
                 f"accepted: {list(PROPAGATION_PRESETS)} (or null for calibrated)"
             )
+        if self.medium is not None and self.medium not in MEDIUMS:
+            raise ConfigurationError(
+                f"unknown medium mode {self.medium!r}; "
+                f"accepted: {list(MEDIUMS)} (or null to follow REPRO_MEDIUM)"
+            )
         for mobility in self.mobility:
             if mobility.node >= len(self.positions_m):
                 raise ConfigurationError(
@@ -270,6 +284,69 @@ class TopologySpec:
         """Stations on a line at the given x coordinates (paper style)."""
         return cls(positions_m=tuple((float(x), 0.0) for x in xs), **kwargs)
 
+    @classmethod
+    def chain(cls, n: int, spacing_m: float, **kwargs: Any) -> "TopologySpec":
+        """``n`` stations in a line, ``spacing_m`` apart (multihop chain)."""
+        if n < 2:
+            raise ConfigurationError(f"a chain needs >= 2 stations, got {n}")
+        if spacing_m <= 0:
+            raise ConfigurationError(f"chain spacing must be > 0 m, got {spacing_m}")
+        return cls(
+            positions_m=tuple((i * float(spacing_m), 0.0) for i in range(n)),
+            **kwargs,
+        )
+
+    @classmethod
+    def grid(
+        cls, rows: int, cols: int, spacing_m: float, **kwargs: Any
+    ) -> "TopologySpec":
+        """A ``rows`` x ``cols`` lattice, row-major station order."""
+        if rows < 1 or cols < 1:
+            raise ConfigurationError(
+                f"grid needs rows >= 1 and cols >= 1, got {rows}x{cols}"
+            )
+        if spacing_m <= 0:
+            raise ConfigurationError(f"grid spacing must be > 0 m, got {spacing_m}")
+        spacing = float(spacing_m)
+        return cls(
+            positions_m=tuple(
+                (col * spacing, row * spacing)
+                for row in range(rows)
+                for col in range(cols)
+            ),
+            **kwargs,
+        )
+
+    @classmethod
+    def random(
+        cls, n: int, spacing_m: float, seed: int, **kwargs: Any
+    ) -> "TopologySpec":
+        """``n`` stations uniform over a square with mean density
+        matching one station per ``spacing_m``-sided cell.
+
+        The square's side is ``spacing_m * sqrt(n)``, so the *density*
+        (and therefore the mean neighbour count at any radius) stays
+        fixed as ``n`` grows — exactly what the per-node-throughput-vs-
+        density experiments need.  Same ``seed``, same layout, always.
+        """
+        if n < 1:
+            raise ConfigurationError(f"random topology needs >= 1 station, got {n}")
+        if spacing_m <= 0:
+            raise ConfigurationError(
+                f"random topology spacing must be > 0 m, got {spacing_m}"
+            )
+        side = float(spacing_m) * math.sqrt(n)
+        # Layout generation is spec-level, not simulation-level: the
+        # seed is pinned in the signature, so the draw is as auditable
+        # as a literal position list (and cache-key stable).
+        rng = random.Random(seed)
+        return cls(
+            positions_m=tuple(
+                (rng.uniform(0.0, side), rng.uniform(0.0, side)) for _ in range(n)
+            ),
+            **kwargs,
+        )
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "positions_m": [list(xy) for xy in self.positions_m],
@@ -278,6 +355,7 @@ class TopologySpec:
             "weather": self.weather.to_dict() if self.weather is not None else None,
             "propagation": self.propagation,
             "mobility": [m.to_dict() for m in self.mobility],
+            "medium": self.medium,
         }
 
     @classmethod
@@ -298,6 +376,7 @@ class TopologySpec:
             mobility=tuple(
                 MobilitySpec.from_dict(m) for m in data.get("mobility", ())
             ),
+            medium=data.get("medium"),
         )
 
 
@@ -317,6 +396,10 @@ class StackSpec:
     #: Reception kernel: ``"python"`` | ``"numpy"``, or ``None`` to defer
     #: to the ``REPRO_KERNEL`` environment variable (default ``auto``).
     kernel: str | None = None
+    #: Routing policy: ``"direct"`` (single-hop, the paper's test-bed) |
+    #: ``"shortest-path"`` (hop-count BFS tables built from the topology
+    #: at build time, strict no-route misses), or ``None`` for direct.
+    routing: str | None = None
 
     def __post_init__(self) -> None:
         _freeze_types(self, ("data_rate_mbps",), ("rts_enabled", "arf"))
@@ -344,6 +427,11 @@ class StackSpec:
                 f"unknown reception kernel {self.kernel!r}; "
                 f"accepted: {list(KERNELS)} (or null to follow REPRO_KERNEL)"
             )
+        if self.routing is not None and self.routing not in ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"unknown routing policy {self.routing!r}; "
+                f"accepted: {list(ROUTING_POLICIES)} (or null for direct)"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -356,6 +444,7 @@ class StackSpec:
             "mac_queue_frames": self.mac_queue_frames,
             "arf": self.arf,
             "kernel": self.kernel,
+            "routing": self.routing,
         }
 
     @classmethod
@@ -381,6 +470,7 @@ class StackSpec:
             ),
             arf=bool(data.get("arf", False)),
             kernel=data.get("kernel"),
+            routing=data.get("routing"),
         )
 
 

@@ -25,6 +25,14 @@ from repro.simlint.checker import Finding, ParsedModule
 #: Wrappers that impose a deterministic order on an unordered iterable.
 _ORDERING_WRAPPERS = frozenset({"sorted", "min", "max", "len", "sum", "any", "all"})
 
+#: Methods that return a set whatever they are called on a set with.
+_SET_METHODS = frozenset(
+    {"intersection", "union", "difference", "symmetric_difference"}
+)
+
+#: Annotation names marking a variable as a set.
+_SET_ANNOTATIONS = frozenset({"set", "frozenset", "Set", "FrozenSet"})
+
 
 class IdentityKeyRule:
     """SL201: any call to the builtin ``id()``."""
@@ -62,6 +70,12 @@ def _is_set_expression(node: ast.expr, local_sets: set[str]) -> str | None:
     if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
         if node.func.id in {"set", "frozenset"}:
             return f"a {node.func.id}() value"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        # ``buckets.intersection(...)`` and friends return sets no matter
+        # what they were called with — the spatial-index style of feeding
+        # a scheduler from bucket overlaps must come out sorted.
+        if node.func.attr in _SET_METHODS:
+            return f"a .{node.func.attr}() result"
     if isinstance(node, ast.Name) and node.id in local_sets:
         return f"the set variable {node.id!r}"
     if isinstance(node, ast.BinOp) and isinstance(
@@ -76,16 +90,38 @@ def _is_set_expression(node: ast.expr, local_sets: set[str]) -> str | None:
     return None
 
 
+def _is_set_annotation(annotation: ast.expr) -> bool:
+    """True for ``set``/``frozenset`` annotations, subscripted or bare."""
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _SET_ANNOTATIONS
+    if isinstance(annotation, ast.Subscript):
+        return _is_set_annotation(annotation.value)
+    return False
+
+
 def _local_set_names(scope: ast.AST) -> set[str]:
-    """Names assigned a set literal/constructor anywhere in ``scope``."""
+    """Names assigned a set value or a ``set[...]`` annotation in ``scope``."""
     names: set[str] = set()
     for node in ast.walk(scope):
         value: ast.expr | None = None
         targets: list[ast.expr] = []
         if isinstance(node, ast.Assign):
             value, targets = node.value, node.targets
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        elif isinstance(node, ast.AnnAssign):
+            if _is_set_annotation(node.annotation) and isinstance(
+                node.target, ast.Name
+            ):
+                names.add(node.target.id)
+            if node.value is None:
+                continue
             value, targets = node.value, [node.target]
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in [*node.args.args, *node.args.kwonlyargs]:
+                if arg.annotation is not None and _is_set_annotation(
+                    arg.annotation
+                ):
+                    names.add(arg.arg)
+            continue
         if value is None:
             continue
         if _is_set_expression(value, set()) is None:

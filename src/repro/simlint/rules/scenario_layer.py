@@ -10,9 +10,12 @@ Hand-constructing ``Simulator()`` / ``Medium(...)`` / ``Node(...)``
 outside :mod:`repro.scenario` re-creates exactly the wiring drift the
 spec layer exists to kill: ad hoc seeds, inconsistent stream names,
 event-insertion orders that silently diverge from the cached sweep
-points.  SL601 flags such constructions.  The scenario package itself
-and test code are exempt (tests legitimately poke the raw kernel), and
-genuinely special setups can waive inline with a justification::
+points.  SL601 flags such constructions.  Some constructors carry an
+extra owning layer: ``GridIndex`` (the medium's spatial index) may also
+be built inside the channel package, and nowhere else.  The scenario
+package itself and test code are exempt (tests legitimately poke the
+raw kernel), and genuinely special setups can waive inline with a
+justification::
 
     sim = Simulator()  # simlint: waive[SL601] -- needs a bare kernel
 """
@@ -24,8 +27,18 @@ from typing import Iterator
 
 from repro.simlint.checker import Finding, ParsedModule
 
-#: Constructors that belong to the scenario builder.
-_RAW_CONSTRUCTORS = frozenset({"Simulator", "Medium", "Node"})
+#: Guarded constructors -> extra path segments (beyond the global
+#: exemptions) whose files may call them directly.  ``GridIndex`` is the
+#: medium's internal spatial index: only the channel layer builds one;
+#: everything else gets spatial culling by attaching devices to a
+#: ``Medium``, never by hand-rolling an index whose bucket iteration
+#: could feed the scheduler.
+_RAW_CONSTRUCTORS: dict[str, frozenset[str]] = {
+    "Simulator": frozenset(),
+    "Medium": frozenset(),
+    "Node": frozenset(),
+    "GridIndex": frozenset({"channel"}),
+}
 
 #: Path segments whose files may construct the raw kernel directly.
 _EXEMPT_SEGMENTS = frozenset({"scenario", "tests"})
@@ -46,9 +59,9 @@ class RawNetworkConstructionRule:
 
     rule_id = "SL601"
     summary = (
-        "direct Simulator()/Medium()/Node() construction outside "
-        "repro.scenario; build networks from a ScenarioSpec via "
-        "repro.scenario.build"
+        "direct Simulator()/Medium()/Node() (or out-of-layer GridIndex) "
+        "construction outside repro.scenario; build networks from a "
+        "ScenarioSpec via repro.scenario.build"
     )
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
@@ -59,19 +72,29 @@ class RawNetworkConstructionRule:
             if not isinstance(node, ast.Call):
                 continue
             name = _constructor_name(node)
-            if name not in _RAW_CONSTRUCTORS:
+            extra_exempt = _RAW_CONSTRUCTORS.get(name)
+            if extra_exempt is None or segments & extra_exempt:
                 continue
+            if name == "GridIndex":
+                message = (
+                    "direct GridIndex(...) construction outside the "
+                    "channel layer; spatial culling belongs to the "
+                    "Medium — attach devices instead of hand-rolling "
+                    "an index"
+                )
+            else:
+                message = (
+                    f"direct {name}(...) construction bypasses the "
+                    "scenario layer; express the setup as a ScenarioSpec "
+                    "and call repro.scenario.build (waivable for "
+                    "genuinely bespoke kernels)"
+                )
             yield Finding(
                 rule_id=self.rule_id,
                 path=module.relpath,
                 line=node.lineno,
                 col=node.col_offset,
-                message=(
-                    f"direct {name}(...) construction bypasses the "
-                    "scenario layer; express the setup as a ScenarioSpec "
-                    "and call repro.scenario.build (waivable for "
-                    "genuinely bespoke kernels)"
-                ),
+                message=message,
             )
 
 

@@ -1,12 +1,14 @@
 """Tests for the broadcast medium."""
 
+import math
 import random
 
 import pytest
 
-from repro.channel.medium import Medium, Signal
+from repro.channel.medium import GridIndex, Medium, Signal, resolve_medium
 from repro.channel.shadowing import ChannelModel
-from repro.errors import MediumError
+from repro.channel.weather import DayConditions, WeatherProcess
+from repro.errors import ConfigurationError, MediumError
 from repro.sim.engine import Simulator
 
 
@@ -139,6 +141,192 @@ class TestPairCache:
         powers = [e[3] for e in rx.events if e[0] == "start"]
         # The static link draw happens once; both frames share it.
         assert powers[0] == powers[1]
+
+
+class TestResolveMedium:
+    def test_explicit_preference_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEDIUM", "dense")
+        assert resolve_medium("spatial") == "spatial"
+
+    def test_environment_selects_the_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEDIUM", "spatial")
+        assert resolve_medium() == "spatial"
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MEDIUM", raising=False)
+        assert resolve_medium() == "auto"
+
+    def test_blank_value_means_auto(self):
+        assert resolve_medium("  ") == "auto"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_medium("quadtree")
+
+    def test_medium_reports_its_resolved_mode(self):
+        sim = Simulator()
+        channel = ChannelModel(fast_sigma_db=0.0, rng=random.Random(1))
+        assert Medium(sim, channel, mode="spatial").mode == "spatial"
+
+
+class TestGridIndex:
+    def _random_grid(self, n=80, cell=50.0, seed=4):
+        rng = random.Random(seed)
+        positions = [
+            (rng.uniform(0.0, 1200.0), rng.uniform(0.0, 1200.0)) for _ in range(n)
+        ]
+        grid = GridIndex(cell)
+        for index, position in enumerate(positions):
+            grid.add(index, position)
+        return grid, positions
+
+    def test_near_is_a_superset_of_the_radius_in_ascending_order(self):
+        grid, positions = self._random_grid()
+        for radius in (60.0, 150.0, 400.0):
+            for centre in positions[:10]:
+                got = grid.near(centre, radius)
+                assert got == sorted(got)
+                inside = {
+                    index
+                    for index, position in enumerate(positions)
+                    if math.dist(centre, position) <= radius
+                }
+                # Conservative query: may over-report, never under-report.
+                assert inside <= set(got)
+
+    def test_move_rebuckets_the_device(self):
+        grid, positions = self._random_grid()
+        grid.move(3, (2400.0, 2400.0))
+        assert 3 not in grid.near(positions[3], 100.0)
+        assert 3 in grid.near((2400.0, 2400.0), 1.0)
+
+    def test_repair_catches_silent_moves(self):
+        sim = Simulator()
+        devices = [FakeDevice(sim, (float(index * 100), 0.0)) for index in range(5)]
+        grid = GridIndex(50.0)
+        for index, device in enumerate(devices):
+            grid.add(index, device.position_m)
+        devices[2].position_m = (1000.0, 0.0)  # behind the grid's back
+        grid.repair(devices)
+        assert 2 in grid.near((1000.0, 0.0), 10.0)
+        assert 2 not in grid.near((200.0, 0.0), 10.0)
+
+    def test_out_of_order_add_rejected(self):
+        grid = GridIndex(10.0)
+        with pytest.raises(MediumError):
+            grid.add(1, (0.0, 0.0))
+
+    def test_non_positive_cell_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex(0.0)
+
+
+def _scripted_run(mode, fast_sigma_db=0.0, weather=False, moves=False):
+    """One fixed transmit/move script; returns the medium and all events.
+
+    Forty stations on a 2.5 km square — far wider than the ~300 m cull
+    radius at 15 dBm — so the spatial path genuinely skips most devices.
+    """
+    sim = Simulator()
+    weather_process = None
+    if weather:
+        weather_process = WeatherProcess(
+            random.Random(5),
+            DayConditions(
+                name="test", offset_db=1.0, sigma_db=2.0, correlation_time_s=0.5
+            ),
+        )
+    channel = ChannelModel(
+        fast_sigma_db=fast_sigma_db, rng=random.Random(2), weather=weather_process
+    )
+    medium = Medium(sim, channel, mode=mode)
+    layout = random.Random(9)
+    devices = []
+    for _ in range(40):
+        device = FakeDevice(
+            sim, (layout.uniform(0.0, 2500.0), layout.uniform(0.0, 2500.0))
+        )
+        medium.attach(device)
+        devices.append(device)
+    mover = devices[7]
+    for round_index in range(6):
+        for tx in (devices[0], devices[19], devices[39]):
+            medium.transmit(
+                tx, f"frame-{round_index}", duration_ns=1000, tx_power_dbm=15.0
+            )
+            sim.run()
+        if moves:
+            x, y = mover.position_m
+            mover.position_m = (x + 400.0, y)
+            medium.notify_moved(mover)
+    return medium, [device.events for device in devices]
+
+
+class TestSpatialIdentity:
+    """The tentpole contract: spatial emits the dense event stream, bit for bit."""
+
+    @pytest.mark.parametrize("fast_sigma_db", [0.0, 2.5])
+    @pytest.mark.parametrize("weather", [False, True])
+    @pytest.mark.parametrize("moves", [False, True])
+    def test_spatial_matches_dense(self, fast_sigma_db, weather, moves):
+        _, dense = _scripted_run("dense", fast_sigma_db, weather, moves)
+        _, spatial = _scripted_run("spatial", fast_sigma_db, weather, moves)
+        assert dense == spatial
+        # The script is not vacuous: somebody actually heard something.
+        assert any(events for events in dense)
+
+    def test_the_script_actually_culls(self):
+        dense_medium, _ = _scripted_run("dense")
+        spatial_medium, _ = _scripted_run("spatial")
+        assert spatial_medium._grid is not None
+        # Dense touches every directed pair; spatial only candidates.
+        assert len(spatial_medium._pair_cache) < len(dense_medium._pair_cache)
+
+
+class TestModeDispatch:
+    def _wide_medium(self, n, mode, static_sigma=0.0):
+        sim = Simulator()
+        channel = ChannelModel(
+            fast_sigma_db=0.0, static_sigma_db=static_sigma, rng=random.Random(1)
+        )
+        medium = Medium(sim, channel, mode=mode)
+        devices = []
+        for index in range(n):
+            device = FakeDevice(sim, (index * 40.0, 0.0))
+            medium.attach(device)
+            devices.append(device)
+        return sim, medium, devices
+
+    def test_auto_stays_dense_below_the_cutoff(self):
+        sim, medium, devices = self._wide_medium(5, mode="auto")
+        medium.transmit(devices[0], "f", duration_ns=1000, tx_power_dbm=15.0)
+        sim.run()
+        assert medium._grid is None
+
+    def test_auto_engages_the_grid_at_scale(self):
+        sim, medium, devices = self._wide_medium(32, mode="auto")
+        medium.transmit(devices[0], "f", duration_ns=1000, tx_power_dbm=15.0)
+        sim.run()
+        assert medium._grid is not None
+
+    def test_loss_hooks_pin_the_dense_path(self):
+        sim, medium, devices = self._wide_medium(32, mode="spatial")
+        medium.add_loss_hook(lambda source, receiver, time_ns: 0.0)
+        medium.transmit(devices[0], "f", duration_ns=1000, tx_power_dbm=15.0)
+        sim.run()
+        assert medium._grid is None
+
+    def test_static_shadowing_pins_the_dense_path(self):
+        sim, medium, devices = self._wide_medium(32, mode="spatial", static_sigma=3.0)
+        medium.transmit(devices[0], "f", duration_ns=1000, tx_power_dbm=15.0)
+        sim.run()
+        assert medium._grid is None
+
+    def test_cull_radius_exists_for_realistic_power(self):
+        _, medium, _ = self._wide_medium(2, mode="spatial")
+        radius = medium.cull_radius_m(15.0)
+        assert radius is not None
+        assert 100.0 < radius < 1000.0
 
 
 class TestValidation:

@@ -39,6 +39,8 @@ EXPERIMENT_CASES: list[tuple[str, dict]] = [
     ("scenarios", {}),
     ("arf", {"duration_s": 0.5, "seed": 1}),
     ("delay", {"duration_s": 2.0, "seed": 1}),
+    ("multihop", {"duration_s": 1.0, "seed": 1}),
+    ("density", {"duration_s": 1.0, "seed": 1}),
     ("fault-blackout", {"duration_s": 15.0, "seed": 1}),
     ("fault-crash", {"duration_s": 15.0, "seed": 1}),
 ]

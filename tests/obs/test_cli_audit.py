@@ -31,3 +31,14 @@ def test_audit_accepts_parameter_overrides(capsys):
     )
     assert code == 0
     assert "ledger balanced:" in capsys.readouterr().out
+
+
+def test_audit_breakdown_lists_the_multihop_drop_states(capsys):
+    # The routing-layer terminal states are first-class rows of the
+    # breakdown table, not footnotes that appear only when non-zero.
+    code = main(["audit", "multihop", "--duration", "0.5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no-route" in out
+    assert "ttl-expired" in out
+    assert "ledger balanced:" in out

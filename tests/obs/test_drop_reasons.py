@@ -89,3 +89,13 @@ def test_saturated_run_ends_with_sdus_in_flight():
 def test_breakdown_covers_only_known_reasons():
     report = report_of(hidden_terminal_spec(duration_s=1.0))
     assert set(report.drops) == set(DROP_REASONS)
+
+
+def test_unreachable_destination_produces_no_route():
+    from tests.obs.util import no_route_spec
+
+    report = report_of(no_route_spec())
+    assert report.drops["no-route"] > 0
+    assert report.delivered == 0
+    # The route miss happens before the MAC: nothing was ever on the air.
+    assert report.drops["retry-limit"] == 0

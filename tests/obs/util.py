@@ -156,3 +156,26 @@ def saturated_spec(duration_s: float = 0.5) -> ScenarioSpec:
         duration_s=duration_s,
         observability=AUDITED,
     )
+
+
+def no_route_spec(duration_s: float = 0.5) -> ScenarioSpec:
+    """Strict shortest-path tables over a partitioned topology.
+
+    The destination sits on an island the build-time BFS never reaches,
+    so every SDU dies at its origin with a typed ``no-route`` drop —
+    and the books must still balance exactly.
+    """
+    return ScenarioSpec(
+        name="obs-no-route",
+        topology=TopologySpec.line(0.0, 5000.0, fast_sigma_db=0.0),
+        stack=StackSpec(routing="shortest-path"),
+        traffic=TrafficSpec(
+            flows=(
+                FlowSpec(kind="cbr", src=0, dst=1, payload_bytes=512,
+                         rate_bps=2e5),
+            )
+        ),
+        seed=1,
+        duration_s=duration_s,
+        observability=AUDITED,
+    )

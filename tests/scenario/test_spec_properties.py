@@ -265,3 +265,81 @@ def test_int_valued_fields_normalise_to_the_float_form():
     [pa] = scenario_sweep_points([a], extract="m:f")
     [pb] = scenario_sweep_points([b], extract="m:f")
     assert canonical_params(pa.params) == canonical_params(pb.params)
+
+
+# --------------------------------------------------- topology factories
+
+import dataclasses  # noqa: E402
+import math  # noqa: E402
+
+spacings = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=1.0, max_value=500.0
+)
+
+factory_topologies = st.one_of(
+    st.builds(
+        TopologySpec.chain,
+        n=st.integers(min_value=2, max_value=40),
+        spacing_m=spacings,
+    ),
+    st.builds(
+        TopologySpec.grid,
+        rows=st.integers(min_value=1, max_value=8),
+        cols=st.integers(min_value=1, max_value=8),
+        spacing_m=spacings,
+    ),
+    st.builds(
+        TopologySpec.random,
+        n=st.integers(min_value=1, max_value=60),
+        spacing_m=spacings,
+        seed=st.integers(min_value=0, max_value=2**31),
+    ),
+)
+
+
+def _spec_around(topology):
+    return ScenarioSpec(name="factory", topology=topology, seed=1, duration_s=1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(factory_topologies, st.sampled_from([None, "dense", "spatial"]))
+def test_factory_topologies_round_trip_losslessly(topology, medium):
+    # Factory-generated positions are computed floats; they must survive
+    # JSON bit for bit, with the medium knob along for the ride.
+    spec = _spec_around(dataclasses.replace(topology, medium=medium))
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+    canonical = spec.canonical_json()
+    assert ScenarioSpec.from_json(canonical).canonical_json() == canonical
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=60),
+    spacings,
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_random_layouts_are_seed_deterministic(n, spacing_m, seed):
+    first = TopologySpec.random(n, spacing_m, seed)
+    again = TopologySpec.random(n, spacing_m, seed)
+    assert first.positions_m == again.positions_m
+    side = spacing_m * math.sqrt(n)
+    assert all(
+        0.0 <= x <= side and 0.0 <= y <= side for x, y in first.positions_m
+    )
+
+
+def test_different_seeds_give_different_random_layouts():
+    assert (
+        TopologySpec.random(20, 50.0, seed=1).positions_m
+        != TopologySpec.random(20, 50.0, seed=2).positions_m
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(factory_topologies)
+def test_factory_specs_share_a_sweep_cache_key(topology):
+    spec = _spec_around(topology)
+    restored = ScenarioSpec.from_json(spec.to_json())
+    [point_a] = scenario_sweep_points([spec], extract="m:f")
+    [point_b] = scenario_sweep_points([restored], extract="m:f")
+    assert canonical_params(point_a.params) == canonical_params(point_b.params)

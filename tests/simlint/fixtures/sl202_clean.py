@@ -4,3 +4,13 @@
 def schedule_all(sim, names: list) -> None:
     for name in sorted(set(names)):
         sim.schedule(0, name)
+
+
+def schedule_overlap(sim, near: set, active: set) -> None:
+    for index in sorted(near.intersection(active)):
+        sim.schedule(0, index)
+
+
+def count_annotated(pending: set) -> int:
+    # Reductions over sets are order-insensitive and stay silent.
+    return len([index for index in pending])

@@ -4,3 +4,15 @@
 def schedule_all(sim, devices: list) -> None:
     for device in set(devices):
         sim.schedule(0, device.poll)
+
+
+def schedule_overlap(sim, near: set, active: set) -> None:
+    # Spatial-index shape: feeding the scheduler straight from a bucket
+    # overlap replays in hash order.
+    for index in near.intersection(active):
+        sim.schedule(0, index)
+
+
+def schedule_annotated(sim, pending: set) -> None:
+    for index in pending:
+        sim.schedule(0, index)

@@ -1,5 +1,6 @@
 """Triggers SL601: hand-wires the simulation kernel instead of a spec."""
 
+from repro.channel.medium import GridIndex
 from repro.net.node import Node
 from repro.phy.medium import Medium
 from repro.sim.engine import Simulator
@@ -10,3 +11,12 @@ def handwired_network(channel, config):
     medium = Medium(sim, channel)
     node = Node(sim, medium, address=1, config=config)
     return sim, medium, node
+
+
+def handrolled_spatial_index(devices):
+    # The spatial index is the Medium's internal affair — building one
+    # outside the channel layer invites scheduler-from-bucket ordering.
+    grid = GridIndex(250.0)
+    for index, device in enumerate(devices):
+        grid.add(index, device.position_m)
+    return grid

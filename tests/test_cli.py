@@ -21,7 +21,7 @@ class TestRegistry:
             "figure12",
         }
         diagrams = {"figure1", "scenarios"}
-        extensions = {"arf", "delay", "link-lifetime"}
+        extensions = {"arf", "delay", "link-lifetime", "multihop", "density"}
         resilience = {"fault-blackout", "fault-crash"}
         assert (
             paper_artefacts | diagrams | extensions | resilience

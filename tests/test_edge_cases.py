@@ -219,3 +219,72 @@ class TestMediumDeviceKeying:
         with pytest.raises(MediumError):
             medium.attach(anchor)
         assert len(medium.devices) == 51
+
+
+class TestPairCacheMobilityEviction:
+    """Regression: a move must evict pair-cache rows, not strand them (PR 9).
+
+    Before the spatial medium landed, a moved device's cached geometry
+    was only *overwritten* when its pair transmitted again; rows for
+    pairs that stopped being neighbours lingered forever.  A reported
+    move (``Medium.notify_moved``, which every supported mover fires via
+    the transceiver's position property) now drops every row touching
+    the mover, so long mobile runs never accumulate stale geometry.
+    """
+
+    class _Probe:
+        def __init__(self, position_m):
+            self.position_m = position_m
+
+        def on_signal_start(self, signal, rx_power_dbm):
+            pass
+
+        def on_signal_end(self, signal):
+            pass
+
+    def _make(self, n=18, spacing=40.0, mode="spatial"):
+        import random
+
+        from repro.channel.medium import Medium
+        from repro.channel.shadowing import ChannelModel
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        medium = Medium(
+            sim, ChannelModel(fast_sigma_db=0.0, rng=random.Random(3)), mode=mode
+        )
+        probes = [self._Probe((index * spacing, 0.0)) for index in range(n)]
+        for probe in probes:
+            medium.attach(probe)
+        return sim, medium, probes
+
+    def test_notify_moved_evicts_every_row_touching_the_mover(self):
+        sim, medium, probes = self._make()
+        for probe in probes:
+            medium.transmit(probe, "fill", duration_ns=1000, tx_power_dbm=15.0)
+        sim.run()
+        assert any(0 in key for key in medium._pair_cache)
+        probes[0].position_m = (5000.0, 0.0)
+        medium.notify_moved(probes[0])
+        assert not any(0 in key for key in medium._pair_cache)
+        assert 0 not in medium._pair_partners
+        assert all(0 not in partners for partners in medium._pair_partners.values())
+
+    def test_cache_stays_bounded_under_position_churn(self):
+        sim, medium, probes = self._make()
+        mover = probes[0]
+        sizes = []
+        for round_index in range(40):
+            # Oscillate: fresh tuple every round, same two geometries.
+            mover.position_m = (1.0 if round_index % 2 else 0.0, 0.0)
+            medium.notify_moved(mover)
+            medium.transmit(
+                mover, f"frame-{round_index}", duration_ns=1000, tx_power_dbm=15.0
+            )
+            sim.run()
+            sizes.append(len(medium._pair_cache))
+        # Only the mover transmits, and spatial culls: fewer rows than
+        # even its full partner count, and no growth across churn.
+        assert max(sizes) < len(probes) - 1
+        assert sizes[-1] == sizes[-3]
+        assert sizes[-2] == sizes[-4]
