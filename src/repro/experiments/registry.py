@@ -13,7 +13,7 @@ goes through :meth:`Experiment.invoke`, which
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.errors import ExperimentError
@@ -51,6 +51,11 @@ class Experiment:
     name: str
     description: str
     run: Callable[..., str]
+    #: Dotted ``--set`` aliases for shim parameters that address nested
+    #: scenario-spec fields: ``{"stack.mac.cw_min_slots": "cw_min"}``
+    #: lets the CLI use the same dotted path the spec document and the
+    #: sweep axes use, and the accepted-keys error lists both forms.
+    spec_params: Mapping[str, str] = field(default_factory=dict)
 
     def accepted_params(self) -> tuple[str, ...]:
         """Names of the keyword parameters the shim accepts."""
@@ -79,8 +84,10 @@ class Experiment:
         ``harness`` keywords (seed, duration_s, probes, jobs, cache,
         policy) are a standard set the runner always supplies; ones the
         shim does not declare are dropped.  ``overrides`` come from the
-        user (``--set key=value``) and must all be declared — an unknown
-        key raises :class:`ExperimentError` listing the accepted ones.
+        user (``--set key=value``) and must all be declared — either as
+        a shim parameter or as a dotted ``spec_params`` alias — or an
+        :class:`ExperimentError` is raised listing every accepted key
+        (shim parameters and dotted ``--set`` paths, sorted).
         """
         accepted = self.accepted_params()
         permissive = self._accepts_anything()
@@ -90,16 +97,25 @@ class Experiment:
             if permissive or key in accepted
         }
         if overrides:
+            translated = {
+                self.spec_params.get(key, key): value
+                for key, value in overrides.items()
+            }
             unknown = sorted(
-                key for key in overrides if not permissive and key not in accepted
+                key
+                for key in overrides
+                if not permissive
+                and key not in accepted
+                and key not in self.spec_params
             )
             if unknown:
+                accepted_keys = sorted({*accepted, *self.spec_params})
                 raise ExperimentError(
                     f"unknown parameter(s) {', '.join(unknown)} for "
                     f"experiment {self.name!r}; accepted: "
-                    f"{', '.join(accepted) or '(none)'}"
+                    f"{', '.join(accepted_keys) or '(none)'}"
                 )
-            call.update(overrides)
+            call.update(translated)
         return self.run(**call)
 
 
@@ -251,6 +267,49 @@ def _density(
     )
 
 
+def _mac_surface(
+    duration_s: float = 1.0, seed: int = 1, jobs: int = 1, cache=None,
+    policy=None,
+    cw_min: int | None = None,
+    cw_max: int | None = None,
+    retry: int | None = None,
+    slot_us: float | None = None,
+    sifs_us: float | None = None,
+    queue: int | None = None,
+) -> str:
+    from repro.experiments.mac_surface import (
+        format_mac_surface,
+        run_mac_surface,
+    )
+
+    pins = {
+        label: value
+        for label, value in (
+            ("cw_min", cw_min), ("cw_max", cw_max), ("retry", retry),
+            ("slot_us", slot_us), ("sifs_us", sifs_us), ("queue", queue),
+        )
+        if value is not None
+    }
+    return format_mac_surface(
+        run_mac_surface(
+            duration_s=min(duration_s, 2.0), seed=seed, jobs=jobs,
+            cache=cache, policy=policy, pins=pins or None,
+        )
+    )
+
+
+#: Dotted ``--set`` aliases for the mac-surface knobs: the same paths
+#: the spec document and the sweep axes use.
+_MAC_SURFACE_SPEC_PARAMS: dict[str, str] = {
+    "stack.mac.cw_min_slots": "cw_min",
+    "stack.mac.cw_max_slots": "cw_max",
+    "stack.mac.short_retry_limit": "retry",
+    "stack.mac.slot_time_us": "slot_us",
+    "stack.mac.sifs_us": "sifs_us",
+    "stack.mac.queue_frames": "queue",
+}
+
+
 def _link_lifetime(
     seed: int = 1, jobs: int = 1, cache=None, policy=None
 ) -> str:
@@ -329,6 +388,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "density",
             "Extension: per-node throughput vs neighbour density at N up to 250",
             _density,
+        ),
+        Experiment(
+            "mac-surface",
+            "Extension: MAC parameter-response surfaces vs the DCF model",
+            _mac_surface,
+            spec_params=_MAC_SURFACE_SPEC_PARAMS,
         ),
         Experiment(
             "link-lifetime",

@@ -22,6 +22,7 @@ from repro.scenario.specs import (
     SPEC_VERSION,
     FaultSpec,
     FlowSpec,
+    MacParamsSpec,
     MobilitySpec,
     ObservabilitySpec,
     ScenarioSpec,
@@ -41,6 +42,7 @@ __all__ = [
     "FaultSpec",
     "FlowHandle",
     "FlowSpec",
+    "MacParamsSpec",
     "MobilitySpec",
     "ObservabilitySpec",
     "ScenarioNetwork",

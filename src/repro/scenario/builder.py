@@ -27,7 +27,7 @@ from repro.channel.propagation import (
 )
 from repro.channel.shadowing import ChannelModel
 from repro.channel.weather import DayConditions, WeatherProcess
-from repro.core.params import Dot11bConfig, MacParameters, Rate
+from repro.core.params import Dot11bConfig, Rate
 from repro.errors import ConfigurationError
 from repro.core.range_model import solve_range_m
 from repro.mac.dcf import AckPolicy
@@ -157,15 +157,14 @@ _RADIO_FACTORIES = {
 
 
 def _stack_dot11(spec: ScenarioSpec) -> Dot11bConfig | None:
-    """A Dot11bConfig only when the spec overrides MAC retry limits."""
-    overrides: dict[str, int] = {}
-    if spec.stack.short_retry_limit is not None:
-        overrides["short_retry_limit"] = spec.stack.short_retry_limit
-    if spec.stack.long_retry_limit is not None:
-        overrides["long_retry_limit"] = spec.stack.long_retry_limit
-    if not overrides:
-        return None
-    return Dot11bConfig(mac=MacParameters(**overrides))
+    """A Dot11bConfig only when the spec overrides MAC parameters.
+
+    Delegates to :meth:`StackSpec.dot11_config` — the one place that
+    merges retry-limit and ``stack.mac`` contention overrides, shared
+    with the analytic model so sim and prediction read identical
+    constants.
+    """
+    return spec.stack.dot11_config()
 
 
 def make_source(net: ScenarioNetwork, flow: FlowSpec, index: int) -> Any:
@@ -251,7 +250,7 @@ def build(spec: ScenarioSpec) -> ScenarioNetwork:
         ),
         ack_policy=AckPolicy(spec.stack.ack_policy),
         dot11=_stack_dot11(spec),
-        mac_queue_frames=spec.stack.mac_queue_frames,
+        mac_queue_frames=spec.stack.effective_queue_frames,
         arf=ArfConfig() if spec.stack.arf else None,
         reception=(
             SinrThresholdReception(kernel=spec.stack.kernel)

@@ -38,7 +38,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.channel.medium import MEDIUMS
 from repro.channel.weather import DayConditions
-from repro.core.params import Rate
+from repro.core.params import Dot11bConfig, MacParameters, Rate
 from repro.errors import ConfigurationError, FaultError
 from repro.mac.dcf import AckPolicy
 from repro.net.routing import ROUTING_POLICIES
@@ -381,6 +381,152 @@ class TopologySpec:
 
 
 @dataclass(frozen=True)
+class MacParamsSpec:
+    """MAC contention-parameter overrides (the response-surface knobs).
+
+    Every field defaults to ``None`` = "use the Table 1 constant from
+    :class:`repro.core.params.MacParameters`".  A spec with explicit
+    values builds a custom :class:`~repro.core.params.MacParameters`
+    for the whole network — the same object both the DCF stations and
+    the analytic model (:mod:`repro.analysis.analytic`) consume, so a
+    swept point and its closed-form prediction can never disagree about
+    the constants.
+
+    ``difs_us`` left ``None`` follows the standard's identity
+    ``DIFS = SIFS + 2 x slot`` whenever slot or SIFS is overridden (the
+    802.11b defaults satisfy it: 10 + 2 x 20 = 50 µs).
+
+    ``queue_frames`` overrides the per-station MAC queue depth; it
+    takes precedence over the older ``StackSpec.mac_queue_frames``
+    field so sweeps can address every MAC knob under one
+    ``stack.mac.*`` prefix.
+    """
+
+    cw_min_slots: int | None = None
+    cw_max_slots: int | None = None
+    short_retry_limit: int | None = None
+    long_retry_limit: int | None = None
+    slot_time_us: float | None = None
+    sifs_us: float | None = None
+    difs_us: float | None = None
+    queue_frames: int | None = None
+
+    def __post_init__(self) -> None:
+        _freeze_types(self, ("slot_time_us", "sifs_us", "difs_us"))
+        for name in ("cw_min_slots", "cw_max_slots", "queue_frames"):
+            value = getattr(self, name)
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, int)
+            ):
+                raise ConfigurationError(
+                    f"mac {name} must be an integer or null, got {value!r}"
+                )
+            if value is not None and value < 1:
+                raise ConfigurationError(f"mac {name} must be >= 1, got {value}")
+        for name in ("short_retry_limit", "long_retry_limit"):
+            value = getattr(self, name)
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, int)
+            ):
+                raise ConfigurationError(
+                    f"mac {name} must be an integer or null, got {value!r}"
+                )
+            if value is not None and value < 0:
+                raise ConfigurationError(f"mac {name} must be >= 0, got {value}")
+        for name in ("slot_time_us", "sifs_us", "difs_us"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"mac {name} must be > 0 µs, got {value}")
+        # Merge with the Table 1 defaults now so an inconsistent pair
+        # (CWmin > CWmax, SIFS > DIFS) fails at spec construction, not
+        # at build time deep inside a sweep.
+        self.to_mac_parameters()
+
+    @property
+    def overrides_timing(self) -> bool:
+        """True when any :class:`MacParameters` field is overridden."""
+        return any(
+            getattr(self, name) is not None
+            for name in (
+                "cw_min_slots", "cw_max_slots", "short_retry_limit",
+                "long_retry_limit", "slot_time_us", "sifs_us", "difs_us",
+            )
+        )
+
+    def to_mac_parameters(
+        self, base: MacParameters | None = None
+    ) -> MacParameters:
+        """The effective :class:`MacParameters` (``base`` + overrides)."""
+        if base is None:
+            base = MacParameters()
+        slot = base.slot_time_us if self.slot_time_us is None else self.slot_time_us
+        sifs = base.sifs_us if self.sifs_us is None else self.sifs_us
+        if self.difs_us is not None:
+            difs = self.difs_us
+        elif self.slot_time_us is None and self.sifs_us is None:
+            difs = base.difs_us
+        else:
+            difs = sifs + 2.0 * slot
+        return dataclasses.replace(
+            base,
+            slot_time_us=slot,
+            sifs_us=sifs,
+            difs_us=difs,
+            cw_min_slots=(
+                base.cw_min_slots if self.cw_min_slots is None else self.cw_min_slots
+            ),
+            cw_max_slots=(
+                base.cw_max_slots if self.cw_max_slots is None else self.cw_max_slots
+            ),
+            short_retry_limit=(
+                base.short_retry_limit
+                if self.short_retry_limit is None
+                else self.short_retry_limit
+            ),
+            long_retry_limit=(
+                base.long_retry_limit
+                if self.long_retry_limit is None
+                else self.long_retry_limit
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cw_min_slots": self.cw_min_slots,
+            "cw_max_slots": self.cw_max_slots,
+            "short_retry_limit": self.short_retry_limit,
+            "long_retry_limit": self.long_retry_limit,
+            "slot_time_us": self.slot_time_us,
+            "sifs_us": self.sifs_us,
+            "difs_us": self.difs_us,
+            "queue_frames": self.queue_frames,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MacParamsSpec":
+        _check_keys(data, cls, "mac")
+        ints = {
+            name: (
+                None
+                if data.get(name) is None
+                else _integer(data[name], f"mac {name}")
+            )
+            for name in (
+                "cw_min_slots", "cw_max_slots", "short_retry_limit",
+                "long_retry_limit", "queue_frames",
+            )
+        }
+        return cls(
+            slot_time_us=_optional_number(
+                data.get("slot_time_us"), "mac slot_time_us"
+            ),
+            sifs_us=_optional_number(data.get("sifs_us"), "mac sifs_us"),
+            difs_us=_optional_number(data.get("difs_us"), "mac difs_us"),
+            **ints,
+        )
+
+
+@dataclass(frozen=True)
 class StackSpec:
     """Per-station PHY/MAC/transport configuration."""
 
@@ -393,6 +539,11 @@ class StackSpec:
     long_retry_limit: int | None = None
     mac_queue_frames: int = 200
     arf: bool = False
+    #: MAC contention-parameter overrides (CWmin/CWmax, retry limits,
+    #: slot/SIFS/DIFS, queue depth), or ``None`` for the Table 1
+    #: defaults.  Mutually exclusive with the top-level
+    #: ``short_retry_limit`` / ``long_retry_limit`` fields.
+    mac: MacParamsSpec | None = None
     #: Reception kernel: ``"python"`` | ``"numpy"``, or ``None`` to defer
     #: to the ``REPRO_KERNEL`` environment variable (default ``auto``).
     kernel: str | None = None
@@ -432,6 +583,43 @@ class StackSpec:
                 f"unknown routing policy {self.routing!r}; "
                 f"accepted: {list(ROUTING_POLICIES)} (or null for direct)"
             )
+        if self.mac is not None:
+            for name in ("short_retry_limit", "long_retry_limit"):
+                if (
+                    getattr(self, name) is not None
+                    and getattr(self.mac, name) is not None
+                ):
+                    raise ConfigurationError(
+                        f"{name} is set both on the stack and on stack.mac; "
+                        f"pick one (stack.mac.{name} is the sweepable form)"
+                    )
+
+    @property
+    def effective_queue_frames(self) -> int:
+        """MAC queue depth after the ``stack.mac`` override."""
+        if self.mac is not None and self.mac.queue_frames is not None:
+            return self.mac.queue_frames
+        return self.mac_queue_frames
+
+    def dot11_config(self) -> Dot11bConfig | None:
+        """The protocol config this stack implies, ``None`` = defaults.
+
+        Single source of truth for both sides of the conformance
+        harness: :func:`repro.scenario.builder.build` hands this to
+        every station, and :mod:`repro.analysis.analytic` computes its
+        closed-form predictions from the very same object.
+        """
+        legacy: dict[str, int] = {}
+        if self.short_retry_limit is not None:
+            legacy["short_retry_limit"] = self.short_retry_limit
+        if self.long_retry_limit is not None:
+            legacy["long_retry_limit"] = self.long_retry_limit
+        if self.mac is None or not self.mac.overrides_timing:
+            if not legacy:
+                return None
+            return Dot11bConfig(mac=MacParameters(**legacy))
+        base = MacParameters(**legacy) if legacy else MacParameters()
+        return Dot11bConfig(mac=self.mac.to_mac_parameters(base))
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -445,6 +633,7 @@ class StackSpec:
             "arf": self.arf,
             "kernel": self.kernel,
             "routing": self.routing,
+            "mac": self.mac.to_dict() if self.mac is not None else None,
         }
 
     @classmethod
@@ -471,6 +660,11 @@ class StackSpec:
             arf=bool(data.get("arf", False)),
             kernel=data.get("kernel"),
             routing=data.get("routing"),
+            mac=(
+                MacParamsSpec.from_dict(data["mac"])
+                if data.get("mac") is not None
+                else None
+            ),
         )
 
 

@@ -1,0 +1,62 @@
+"""Model-vs-sim conformance on the pinned validation grid.
+
+Each grid point asserts the simulated saturation throughput agrees
+with the closed-form DCF prediction within the point's stated
+tolerance band, with full per-point diagnostics on failure.  This is
+a CI-enforced invariant: a MAC-layer regression that shifts
+throughput by more than the band fails here even if every
+behavioural unit test still passes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conformance.harness import (
+    describe,
+    grid_document,
+    load_grid,
+    run_point,
+)
+
+DEFAULTS, POINTS = load_grid()
+
+
+def _point_id(point: dict) -> str:
+    return f"n{point['stations']}-cw{point['cw_min']}-r{point['retry']}"
+
+
+def test_grid_file_matches_harness_constants():
+    """grid.json is generated, not hand-edited: it must round-trip."""
+    document = grid_document()
+    assert DEFAULTS == document["defaults"]
+    assert POINTS == document["points"], (
+        "grid.json is out of date; regenerate with "
+        "`python -m tests.conformance.report_grid --write-grid`"
+    )
+
+
+def test_grid_is_a_full_cross_product():
+    combos = {(p["stations"], p["cw_min"], p["retry"]) for p in POINTS}
+    stations = {p["stations"] for p in POINTS}
+    cw_mins = {p["cw_min"] for p in POINTS}
+    retries = {p["retry"] for p in POINTS}
+    assert len(combos) == len(POINTS)
+    assert combos == {
+        (n, w, r) for n in stations for w in cw_mins for r in retries
+    }
+
+
+def test_tolerance_bands_are_meaningful():
+    """The bands must stay falsifiable, not drift into vacuity."""
+    for point in POINTS:
+        assert 0.0 < point["tolerance"] <= 0.10
+
+
+@pytest.mark.parametrize("point", POINTS, ids=_point_id)
+def test_sim_matches_analytic_model(point):
+    record = run_point(DEFAULTS, point)
+    assert record["ok"], (
+        "simulated saturation throughput outside the analytic tolerance "
+        "band\n" + describe(record)
+    )

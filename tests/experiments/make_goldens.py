@@ -43,6 +43,7 @@ EXPERIMENT_CASES: list[tuple[str, dict]] = [
     ("density", {"duration_s": 1.0, "seed": 1}),
     ("fault-blackout", {"duration_s": 15.0, "seed": 1}),
     ("fault-crash", {"duration_s": 15.0, "seed": 1}),
+    ("mac-surface", {"duration_s": 1.0, "seed": 1}),
 ]
 
 

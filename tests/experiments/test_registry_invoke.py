@@ -59,3 +59,52 @@ def test_accepted_params_reflect_signature():
     assert EXPERIMENTS["figure3"].accepted_params() == (
         "probes", "seed", "jobs", "cache", "policy",
     )
+
+
+def test_error_lists_accepted_keys_sorted():
+    """Regression: the accepted-keys list is sorted, not signature order."""
+    with pytest.raises(ExperimentError) as excinfo:
+        EXPERIMENTS["figure3"].invoke({"bogus": 1})
+    accepted = str(excinfo.value).split("accepted: ")[1]
+    keys = [key.strip() for key in accepted.split(",")]
+    assert keys == sorted(keys)
+    assert keys == ["cache", "jobs", "policy", "probes", "seed"]
+
+
+def test_error_includes_dotted_spec_paths():
+    """mac-surface advertises its sweepable ``--set`` paths on failure."""
+    with pytest.raises(ExperimentError) as excinfo:
+        EXPERIMENTS["mac-surface"].invoke({"stack.mac.cw_min": 64})
+    message = str(excinfo.value)
+    assert "stack.mac.cw_min_slots" in message
+    assert "stack.mac.queue_frames" in message
+    keys = [
+        key.strip() for key in message.split("accepted: ")[1].split(",")
+    ]
+    assert keys == sorted(keys)
+
+
+def test_spec_params_translate_dotted_paths_to_shim_kwargs():
+    def fake(cw_min=None, seed=1) -> str:
+        return f"cw_min={cw_min} seed={seed}"
+
+    experiment = Experiment(
+        "fake", "test double", fake,
+        spec_params={"stack.mac.cw_min_slots": "cw_min"},
+    )
+    out = experiment.invoke({"stack.mac.cw_min_slots": 64})
+    assert out == "cw_min=64 seed=1"
+
+
+def test_mac_surface_dotted_pin_reaches_the_sweep():
+    pins = {
+        "stack.mac.cw_min_slots": 64,
+        "stack.mac.cw_max_slots": 1024,
+        "stack.mac.short_retry_limit": 7,
+        "stack.mac.slot_time_us": 20.0,
+        "stack.mac.sifs_us": 10.0,
+        "stack.mac.queue_frames": 50,
+    }
+    out = EXPERIMENTS["mac-surface"].invoke(pins, duration_s=0.3, seed=1)
+    assert " 64 " in out  # the pinned CWmin row
+    assert " 32 " not in out  # default CWmin rows collapsed away

@@ -67,3 +67,35 @@ class TestNav:
         sim.schedule(1_001, lambda: seen.append(nav.busy))
         sim.run()
         assert seen == [True, False]
+
+    def test_mid_run_extension_rearms_the_stale_wakeup(self):
+        # The coalesced-timer path: the armed wakeup fires at the *old*
+        # expiry, finds the NAV was extended meanwhile, and re-arms
+        # instead of notifying early.
+        sim, nav, expirations = make_nav()
+        nav.update(1_000_000)
+        sim.schedule(500_000, lambda: nav.update(3_000_000))
+        sim.run()
+        assert expirations == [3_000_000]
+
+    def test_rejected_update_does_not_rearm(self):
+        sim, nav, expirations = make_nav()
+        nav.update(1_000_000)
+        assert not nav.update(1_000_000)  # equal: no extension
+        sim.run()
+        assert expirations == [1_000_000]
+
+    def test_nav_is_reusable_after_reset(self):
+        sim, nav, expirations = make_nav()
+        nav.update(1_000_000)
+        nav.reset()
+        assert nav.update(2_000_000)  # a fresh timer must start
+        sim.run()
+        assert expirations == [0, 2_000_000]
+
+    def test_nav_is_reusable_after_expiry(self):
+        sim, nav, expirations = make_nav()
+        nav.update(1_000)
+        sim.schedule(2_000, lambda: nav.update(5_000))
+        sim.run()
+        assert expirations == [1_000, 5_000]

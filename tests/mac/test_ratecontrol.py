@@ -81,6 +81,30 @@ class TestArfUnit:
     def test_invalid_thresholds_rejected(self):
         with pytest.raises(ConfigurationError):
             ArfConfig(success_threshold=0)
+        with pytest.raises(ConfigurationError):
+            ArfConfig(failure_threshold=0)
+
+    def test_success_run_at_the_ceiling_never_overshoots(self):
+        arf = ArfRateController(ArfConfig(success_threshold=1))
+        for _ in range(20):
+            arf.on_success(7)
+        assert arf.data_rate(7) is Rate.MBPS_11
+        assert arf.upgrades == 2  # 2 -> 5.5 -> 11 only
+
+    def test_failure_at_the_floor_resets_the_failure_run(self):
+        # Dropping is impossible at index 0, but the counters must still
+        # clear so the next window starts fresh.
+        arf = ArfRateController(
+            ArfConfig(initial_rate=Rate.MBPS_1, failure_threshold=2)
+        )
+        for _ in range(4):
+            arf.on_failure(7)
+        assert arf.data_rate(7) is Rate.MBPS_1
+        assert arf.downgrades == 0
+        # Two successes then a failure: the run restarted from zero.
+        arf.on_success(7)
+        arf.on_failure(7)
+        assert arf.data_rate(7) is Rate.MBPS_1
 
 
 class TestArfIntegration:

@@ -1,0 +1,149 @@
+"""Tests for MacParamsSpec and its threading through the builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import MacParameters
+from repro.errors import ConfigurationError
+from repro.scenario import (
+    FlowSpec,
+    MacParamsSpec,
+    ScenarioSpec,
+    StackSpec,
+    TopologySpec,
+    TrafficSpec,
+    build,
+)
+
+
+def two_node_spec(stack: StackSpec) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="mac-params",
+        topology=TopologySpec.line(0, 10, fast_sigma_db=0.0),
+        stack=stack,
+        traffic=TrafficSpec(
+            flows=(FlowSpec(kind="cbr", src=0, dst=1, payload_bytes=512),)
+        ),
+        seed=1,
+        duration_s=0.2,
+    )
+
+
+class TestSpecValidation:
+    def test_empty_spec_means_table1_defaults(self):
+        spec = MacParamsSpec()
+        assert not spec.overrides_timing
+        assert spec.to_mac_parameters() == MacParameters()
+
+    def test_round_trips_through_dict(self):
+        spec = MacParamsSpec(
+            cw_min_slots=64, slot_time_us=9.0, queue_frames=10
+        )
+        assert MacParamsSpec.from_dict(spec.to_dict()) == spec
+
+    def test_inconsistent_windows_fail_at_construction(self):
+        with pytest.raises(ConfigurationError, match="CWmin"):
+            MacParamsSpec(cw_min_slots=2048)  # above the default CWmax
+
+    def test_bounds_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            MacParamsSpec(cw_min_slots=0)
+        with pytest.raises(ConfigurationError):
+            MacParamsSpec(short_retry_limit=-1)
+        with pytest.raises(ConfigurationError):
+            MacParamsSpec(slot_time_us=0.0)
+        with pytest.raises(ConfigurationError):
+            MacParamsSpec(queue_frames=True)
+
+    def test_difs_follows_the_standard_identity(self):
+        # DIFS = SIFS + 2 x slot whenever timing moves and DIFS is not
+        # pinned explicitly.
+        mac = MacParamsSpec(slot_time_us=9.0).to_mac_parameters()
+        assert mac.difs_us == pytest.approx(10.0 + 2 * 9.0)
+        mac = MacParamsSpec(sifs_us=16.0).to_mac_parameters()
+        assert mac.difs_us == pytest.approx(16.0 + 2 * 20.0)
+
+    def test_explicit_difs_wins(self):
+        mac = MacParamsSpec(slot_time_us=9.0, difs_us=40.0).to_mac_parameters()
+        assert mac.difs_us == 40.0
+
+    def test_untouched_timing_keeps_the_base_difs(self):
+        base = MacParameters(difs_us=55.0, sifs_us=10.0)
+        assert MacParamsSpec(cw_min_slots=64).to_mac_parameters(base).difs_us == 55.0
+
+    def test_merge_preserves_base_fields(self):
+        base = MacParameters(short_retry_limit=3)
+        merged = MacParamsSpec(cw_min_slots=64).to_mac_parameters(base)
+        assert merged.short_retry_limit == 3
+        assert merged.cw_min_slots == 64
+
+
+class TestStackIntegration:
+    def test_legacy_retry_fields_conflict_with_mac_spec(self):
+        with pytest.raises(ConfigurationError, match="stack.mac"):
+            StackSpec(
+                short_retry_limit=3,
+                mac=MacParamsSpec(short_retry_limit=5),
+            )
+
+    def test_legacy_retry_fields_merge_when_mac_spec_is_silent(self):
+        stack = StackSpec(
+            short_retry_limit=3, mac=MacParamsSpec(cw_min_slots=64)
+        )
+        mac = stack.dot11_config().mac
+        assert mac.short_retry_limit == 3
+        assert mac.cw_min_slots == 64
+
+    def test_default_stack_produces_no_config(self):
+        # Critical for golden stability: no overrides -> build() sees
+        # exactly what it saw before MacParamsSpec existed.
+        assert StackSpec().dot11_config() is None
+        assert StackSpec(mac=MacParamsSpec()).dot11_config() is None
+        assert StackSpec().to_dict()["mac"] is None
+
+    def test_queue_override_takes_precedence(self):
+        stack = StackSpec(mac_queue_frames=50, mac=MacParamsSpec(queue_frames=5))
+        assert stack.effective_queue_frames == 5
+        assert StackSpec(mac_queue_frames=50).effective_queue_frames == 50
+
+    def test_stack_round_trips_with_mac_spec(self):
+        stack = StackSpec(mac=MacParamsSpec(cw_min_slots=64, sifs_us=16.0))
+        spec = two_node_spec(stack)
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.stack.mac == stack.mac
+
+
+class TestBuilderThreading:
+    def test_overrides_reach_every_station(self):
+        spec = two_node_spec(
+            StackSpec(
+                mac=MacParamsSpec(
+                    cw_min_slots=64, slot_time_us=9.0, queue_frames=7
+                )
+            )
+        )
+        net = build(spec)
+        for node in net.nodes:
+            mac = node.mac.config.dot11.mac
+            assert mac.cw_min_slots == 64
+            assert mac.slot_time_us == 9.0
+            assert mac.difs_us == pytest.approx(10.0 + 2 * 9.0)
+            assert node.mac.config.max_queue_frames == 7
+
+    def test_default_build_matches_pre_mac_spec_constants(self):
+        net = build(two_node_spec(StackSpec()))
+        assert net.nodes[0].mac.config.dot11.mac == MacParameters()
+
+    def test_overrides_change_measured_behaviour(self):
+        # A huge CWmin visibly slows a single saturated sender: the
+        # override is live in the MAC, not just carried in the spec.
+        fast = two_node_spec(StackSpec(mac=MacParamsSpec(cw_min_slots=16)))
+        slow = two_node_spec(StackSpec(mac=MacParamsSpec(cw_min_slots=1024)))
+        results = []
+        for spec in (fast, slow):
+            net = build(spec)
+            net.run(spec.duration_s)
+            results.append(net.flow(0).throughput_bps(spec.duration_s))
+        assert results[0] > results[1] * 1.5

@@ -21,7 +21,10 @@ class TestRegistry:
             "figure12",
         }
         diagrams = {"figure1", "scenarios"}
-        extensions = {"arf", "delay", "link-lifetime", "multihop", "density"}
+        extensions = {
+            "arf", "delay", "link-lifetime", "multihop", "density",
+            "mac-surface",
+        }
         resilience = {"fault-blackout", "fault-crash"}
         assert (
             paper_artefacts | diagrams | extensions | resilience
